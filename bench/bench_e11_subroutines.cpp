@@ -1,0 +1,90 @@
+// E11 — the subroutine complexities entering Lemma 18's decomposition:
+// T_MM, T_{deg+1}, MIS, and ruling sets are (Delta^2 + log* n)-shaped in
+// our realization (the paper's black boxes are O(Delta + log* n) /
+// O~(log^{5/3} n); substitution documented in DESIGN.md). Rounds must be
+// essentially flat in n and grow with Delta.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/table.hpp"
+#include "bench_support/workloads.hpp"
+#include "deltacolor.hpp"
+
+namespace {
+
+using namespace deltacolor;
+using namespace deltacolor::bench;
+
+void run_tables() {
+  banner("E11", "subroutine round complexities (flat in n, ~Delta^2)");
+  {
+    Table t({"n", "linial", "deg+1", "mis", "matching", "ruling"});
+    for (int cliques = 32; cliques <= 1024; cliques *= 4) {
+      const CliqueInstance inst = hard_instance(cliques, 16, 3);
+      const Graph& g = inst.graph;
+      RoundLedger l1, l2, l3, l4, l5;
+      linial_coloring(g, l1);
+      {
+        std::vector<Color> color(g.num_nodes(), kNoColor);
+        std::vector<bool> active(g.num_nodes(), true);
+        deg_plus_one_list_color(g, active, uniform_lists(g, 17), color, l2);
+      }
+      mis_deterministic(g, l3);
+      maximal_matching_deterministic(g, l4);
+      ruling_set(g, l5);
+      t.row(g.num_nodes(), l1.total(), l2.total(), l3.total(), l4.total(),
+            l5.total());
+    }
+    std::cout << "fixed Delta = 16, growing n:\n";
+    t.print();
+  }
+  {
+    Table t({"Delta", "n", "linial", "deg+1", "mis", "matching", "ruling"});
+    for (const int delta : {8, 16, 32, 63}) {
+      const CliqueInstance inst = hard_instance(64, delta, 3);
+      const Graph& g = inst.graph;
+      RoundLedger l1, l2, l3, l4, l5;
+      linial_coloring(g, l1);
+      {
+        std::vector<Color> color(g.num_nodes(), kNoColor);
+        std::vector<bool> active(g.num_nodes(), true);
+        deg_plus_one_list_color(g, active, uniform_lists(g, delta + 1),
+                                color, l2);
+      }
+      mis_deterministic(g, l3);
+      maximal_matching_deterministic(g, l4);
+      ruling_set(g, l5);
+      t.row(delta, g.num_nodes(), l1.total(), l2.total(), l3.total(),
+            l4.total(), l5.total());
+    }
+    std::cout << "\nfixed clique count, growing Delta:\n";
+    t.print();
+  }
+}
+
+void BM_Linial(benchmark::State& state) {
+  const CliqueInstance inst = hard_instance(256, 16, 3);
+  for (auto _ : state) {
+    RoundLedger l;
+    benchmark::DoNotOptimize(linial_coloring(inst.graph, l).color.data());
+  }
+}
+BENCHMARK(BM_Linial)->Unit(benchmark::kMillisecond);
+
+void BM_MaximalMatching(benchmark::State& state) {
+  const CliqueInstance inst = hard_instance(256, 16, 3);
+  for (auto _ : state) {
+    RoundLedger l;
+    benchmark::DoNotOptimize(
+        maximal_matching_deterministic(inst.graph, l).size());
+  }
+}
+BENCHMARK(BM_MaximalMatching)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

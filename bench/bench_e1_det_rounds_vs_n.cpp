@@ -1,0 +1,93 @@
+// E1 — Theorem 1: the deterministic algorithm Delta-colors constant-degree
+// dense graphs in O(log n) rounds.
+//
+// Sweep n at fixed Delta on all-hard blow-up instances; report total
+// rounds, the per-phase breakdown, and least-squares fits of the
+// n-dependent phase (hyperedge grabbing) against log2 n. The class-greedy
+// subroutines contribute large Delta-dependent constants (documented
+// substitutions of the GG24/MT20 black boxes); only the HEG phase grows
+// with n, exactly as Lemma 18's decomposition predicts.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/table.hpp"
+#include "bench_support/workloads.hpp"
+#include "common/stats.hpp"
+#include "deltacolor.hpp"
+
+namespace {
+
+using namespace deltacolor;
+using namespace deltacolor::bench;
+
+void run_tables() {
+  banner("E1", "Theorem 1: deterministic Delta-coloring in O(log n) rounds");
+
+  for (const int delta : {16, 32}) {
+    Table t({"n", "rounds(total)", "matching", "heg", "split", "pairs+rest",
+             "triads", "valid"});
+    std::vector<double> ns, heg_rounds, totals;
+    for (int cliques = 32; cliques <= 2048; cliques *= 2) {
+      const CliqueInstance inst = hard_instance(cliques, delta, 1234);
+      const auto res = delta_color_dense(inst.graph, scaled_options(delta));
+      const auto& lg = res.ledger;
+      t.row(inst.graph.num_nodes(), lg.total(),
+            lg.phase_total("phase1-matching"), lg.phase_total("phase1-heg"),
+            lg.phase_total("phase2-split"),
+            lg.phase_total("phase4a-pairs") + lg.phase_total("phase4b-rest"),
+            res.hard_stats.num_triads, res.valid ? "yes" : "NO");
+      ns.push_back(inst.graph.num_nodes());
+      heg_rounds.push_back(
+          static_cast<double>(lg.phase_total("phase1-heg")));
+      totals.push_back(static_cast<double>(lg.total()));
+    }
+    std::cout << "Delta = " << delta << ":\n";
+    t.print();
+    const LinearFit heg_fit = fit_log(ns, heg_rounds);
+    const LinearFit total_fit = fit_log(ns, totals);
+    std::cout << "fit heg   ~ " << heg_fit.intercept << " + "
+              << heg_fit.slope << " * log2(n)   (r2 = " << heg_fit.r2
+              << ")\n";
+    std::cout << "fit total ~ " << total_fit.intercept << " + "
+              << total_fit.slope << " * log2(n)   (r2 = " << total_fit.r2
+              << ")\n\n";
+  }
+
+  // Paper-exact parameters (epsilon = 1/63, K = 28) at Delta = 63.
+  {
+    Table t({"n", "rounds(total)", "heg", "heg_ratio", "valid"});
+    for (const int cliques : {128, 256, 512}) {
+      const CliqueInstance inst = hard_instance(cliques, 63, 7);
+      DeltaColoringOptions opt;
+      opt.hard.scale_for_delta = false;  // the paper's K = 28
+      const auto res = delta_color_dense(inst.graph, opt);
+      t.row(inst.graph.num_nodes(), res.ledger.total(),
+            res.ledger.phase_total("phase1-heg"), res.hard_stats.heg_ratio,
+            res.valid ? "yes" : "NO");
+    }
+    std::cout << "Paper-exact parameters (Delta = 63, epsilon = 1/63, "
+                 "K = 28):\n";
+    t.print();
+  }
+}
+
+void BM_DeterministicColoring(benchmark::State& state) {
+  const int cliques = static_cast<int>(state.range(0));
+  const CliqueInstance inst = hard_instance(cliques, 16, 99);
+  for (auto _ : state) {
+    const auto res = delta_color_dense(inst.graph, scaled_options(16));
+    benchmark::DoNotOptimize(res.color.data());
+    state.counters["rounds"] = static_cast<double>(res.ledger.total());
+  }
+  state.counters["n"] = inst.graph.num_nodes();
+}
+BENCHMARK(BM_DeterministicColoring)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

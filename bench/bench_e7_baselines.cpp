@@ -1,0 +1,145 @@
+// E7 — the complexity-landscape comparison motivating the paper (Figure 1
+// and Section 1.1): Delta-coloring vs the greedy (Delta+1) regime vs the
+// prior layered approach vs the centralized ground truth.
+//
+//  * greedy uses one extra color and finishes in log*-tier rounds;
+//  * the layered baseline needs loopholes: it STALLS on hard instances
+//    and needs ~diameter rounds on ring-shaped easy instances;
+//  * the paper's deterministic algorithm handles hard instances in
+//    O(log n)-tier rounds with exactly Delta colors;
+//  * the randomized algorithm does the same in fewer n-dependent rounds;
+//  * Brooks (centralized) is the sequential reference.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_support/table.hpp"
+#include "bench_support/workloads.hpp"
+#include "deltacolor.hpp"
+
+namespace {
+
+using namespace deltacolor;
+using namespace deltacolor::bench;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void run_tables() {
+  banner("E7", "head-to-head: who colors what, with how many colors, in "
+               "how many rounds");
+
+  for (const char* kind : {"hard", "ring"}) {
+    const bool hard = std::string(kind) == "hard";
+    Table t({"algorithm", "colors", "rounds", "wall(ms)", "outcome"});
+    const int delta = hard ? 16 : 8;
+    CliqueInstance inst =
+        hard ? hard_instance(128, delta, 17) : clique_ring(128, delta, 17);
+    const Graph& g = inst.graph;
+
+    {  // greedy Delta+1
+      RoundLedger ledger;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto color = greedy_delta_plus_one(g, ledger);
+      const double ms = ms_since(t0);
+      t.row("greedy (Delta+1)", check_coloring(g, color).colors_used,
+            ledger.total(), ms,
+            is_proper_coloring(g, color, delta + 1) ? "valid (Delta+1)"
+                                                    : "INVALID");
+    }
+    {  // layered baseline
+      RoundLedger ledger;
+      AcdParams p;
+      p.epsilon = std::max(kAcdEpsilon, 2.5 / delta);
+      RoundLedger tmp;
+      const Acd acd = compute_acd(g, tmp, p);
+      const auto lps = find_loopholes_dense(g, acd, tmp);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto res = layered_loophole_coloring(g, lps, ledger);
+      const double ms = ms_since(t0);
+      t.row("layered (prior-style)",
+            res.success ? check_coloring(g, res.color).colors_used : 0,
+            ledger.total(), ms,
+            res.success ? "valid (Delta)" : "STALLS (no loopholes)");
+    }
+    {  // deterministic (Theorem 1)
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto res = delta_color_dense(g, scaled_options(delta));
+      const double ms = ms_since(t0);
+      t.row("deterministic (Thm 1)",
+            check_coloring(g, res.color).colors_used, res.ledger.total(),
+            ms, res.valid ? "valid (Delta)" : "INVALID");
+    }
+    {  // randomized (Theorem 2)
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto res =
+          randomized_delta_color(g, scaled_randomized_options(delta, 7));
+      const double ms = ms_since(t0);
+      t.row("randomized (Thm 2)", check_coloring(g, res.color).colors_used,
+            res.ledger.total(), ms, res.valid ? "valid (Delta)" : "INVALID");
+    }
+    {  // Brooks, centralized
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto res = brooks_coloring(g);
+      const double ms = ms_since(t0);
+      t.row("Brooks (centralized)",
+            res.success ? check_coloring(g, res.color).colors_used : 0,
+            "-", ms, res.success ? "valid (Delta)" : "exception");
+    }
+    std::cout << (hard ? "All-hard blow-up instance" : "Easy clique ring")
+              << " (n = " << g.num_nodes() << ", Delta = " << delta
+              << "):\n";
+    t.print();
+    std::cout << "\n";
+  }
+}
+
+void BM_Greedy(benchmark::State& state) {
+  const CliqueInstance inst = hard_instance(128, 16, 17);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    benchmark::DoNotOptimize(
+        greedy_delta_plus_one(inst.graph, ledger).data());
+  }
+}
+BENCHMARK(BM_Greedy)->Unit(benchmark::kMillisecond);
+
+void BM_Deterministic(benchmark::State& state) {
+  const CliqueInstance inst = hard_instance(128, 16, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        delta_color_dense(inst.graph, scaled_options(16)).color.data());
+  }
+}
+BENCHMARK(BM_Deterministic)->Unit(benchmark::kMillisecond);
+
+void BM_Randomized(benchmark::State& state) {
+  const CliqueInstance inst = hard_instance(128, 16, 17);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        randomized_delta_color(inst.graph,
+                               scaled_randomized_options(16, ++seed))
+            .color.data());
+  }
+}
+BENCHMARK(BM_Randomized)->Unit(benchmark::kMillisecond);
+
+void BM_Brooks(benchmark::State& state) {
+  const CliqueInstance inst = hard_instance(128, 16, 17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(brooks_coloring(inst.graph).color.data());
+}
+BENCHMARK(BM_Brooks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E9 — Lemma 21 / Corollary 22: degree splitting into 2^i parts keeps each
+// node's per-part degree within deg/2^i +- (eps * deg + a).
+//
+// Sweep the segment length (~1/eps') and the recursion depth i on random
+// regular graphs; report the worst observed per-node discrepancy against
+// the bound and the simulated rounds.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_support/table.hpp"
+#include "bench_support/workloads.hpp"
+#include "deltacolor.hpp"
+
+namespace {
+
+using namespace deltacolor;
+using namespace deltacolor::bench;
+
+void run_tables() {
+  banner("E9", "Corollary 22: per-node degree discrepancy of the splitter");
+  Table t({"degree", "levels", "segment", "rounds", "maxDisc",
+           "bound(eps*d+a)", "within"});
+  for (const int degree : {16, 32, 64}) {
+    Graph g = random_regular(2048, degree, 7 + degree);
+    for (const int levels : {1, 2, 3}) {
+      for (const int segment : {16, 64, 100, 256}) {
+        RoundLedger ledger;
+        const auto split = degree_split(g, levels, segment, 3, ledger);
+        double max_disc = 0;
+        for (int p = 0; p < split.num_parts; ++p) {
+          const auto deg = part_degrees(g, split, p);
+          for (NodeId v = 0; v < g.num_nodes(); ++v)
+            max_disc = std::max(
+                max_disc, std::abs(deg[v] - static_cast<double>(degree) /
+                                                split.num_parts));
+        }
+        const double bound =
+            (2.0 * levels / segment) * degree + 3.0 * levels + 1;
+        t.row(degree, levels, segment, split.rounds, max_disc, bound,
+              verdict(max_disc <= bound + 1e-9));
+      }
+    }
+  }
+  t.print();
+  std::cout << "\n(The paper instantiates eps' = 1/100, i = 2 in Lemma 13;\n"
+               "segment = 100, levels = 2 is that configuration.)\n";
+}
+
+void BM_DegreeSplit(benchmark::State& state) {
+  Graph g = random_regular(4096, 32, 11);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    const auto split = degree_split(g, 2, 100, 5, ledger);
+    benchmark::DoNotOptimize(split.part.data());
+  }
+}
+BENCHMARK(BM_DegreeSplit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

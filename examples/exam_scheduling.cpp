@@ -1,0 +1,52 @@
+// Exam scheduling with the randomized algorithm (Theorem 2).
+//
+// Scenario: course modules form cohorts that all conflict with each other
+// (cliques), plus cross-cohort electives. The term has exactly Delta slots.
+// The randomized algorithm places T-nodes (pairs of non-conflicting exams
+// scheduled into the same reserved slot), shatters the instance, and
+// finishes each fragment with the deterministic machinery.
+//
+//   $ ./exam_scheduling [cohorts] [courses_per_cohort] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "deltacolor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace deltacolor;
+  const int cohorts = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int courses = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  CliqueInstanceOptions gen;
+  gen.num_cliques = cohorts;
+  gen.delta = courses;
+  gen.clique_size = courses;
+  gen.seed = seed;
+  const CliqueInstance instance = clique_blowup_instance(gen);
+  const Graph& g = instance.graph;
+
+  std::cout << "conflict graph: " << g.num_nodes() << " courses, "
+            << g.num_edges() << " conflicts, " << g.max_degree()
+            << " exam slots available\n";
+
+  const auto result =
+      randomized_delta_color(g, scaled_randomized_options(courses, seed));
+  std::cout << "schedule found in " << result.ledger.total()
+            << " simulated LOCAL rounds\n";
+  std::cout << "  T-nodes placed:        " << result.stats.tnodes_placed
+            << " / " << result.stats.num_hard << " cohorts\n";
+  std::cout << "  shattered fragments:   " << result.stats.components
+            << " (largest " << result.stats.max_component_vertices
+            << " courses)\n";
+  std::cout << "  fragment rounds (max): " << result.stats.max_component_rounds
+            << "\n";
+  std::cout << "round breakdown:\n" << result.ledger.report();
+
+  if (!is_delta_coloring(g, result.color)) {
+    std::cerr << "schedule INVALID\n";
+    return 1;
+  }
+  std::cout << "schedule verified: no two conflicting exams share a slot\n";
+  return 0;
+}

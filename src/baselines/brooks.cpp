@@ -1,0 +1,290 @@
+#include "baselines/brooks.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+#include "graph/checker.hpp"
+#include "graph/subgraph.hpp"
+
+namespace deltacolor {
+
+namespace {
+
+// Greedy coloring of `members` in decreasing-BFS-distance order from
+// `root` (root last): every non-root vertex still has an uncolored closer
+// neighbor at its turn, so at most deg-1 <= Delta-1 colors are blocked.
+// Colors are chosen from {0..delta-1}; requires deg(root) < delta inside
+// the member set (or root pre-colored). Works in place on `color`.
+void rooted_greedy(const Graph& g, const std::vector<NodeId>& members,
+                   NodeId root, int delta, std::vector<Color>& color) {
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::vector<bool> in_comp(g.num_nodes(), false);
+  for (const NodeId v : members) in_comp[v] = true;
+  std::queue<NodeId> q;
+  dist[root] = 0;
+  q.push(root);
+  std::vector<NodeId> order;
+  while (!q.empty()) {
+    const NodeId x = q.front();
+    q.pop();
+    order.push_back(x);
+    for (const NodeId y : g.neighbors(x)) {
+      if (!in_comp[y] || dist[y] != -1) continue;
+      dist[y] = dist[x] + 1;
+      q.push(y);
+    }
+  }
+  DC_CHECK_MSG(order.size() == members.size(),
+               "rooted_greedy: member set is not connected");
+  std::reverse(order.begin(), order.end());  // farthest first, root last
+  for (const NodeId v : order) {
+    if (color[v] != kNoColor) continue;  // pre-colored root
+    std::vector<bool> banned(static_cast<std::size_t>(delta), false);
+    for (const NodeId u : g.neighbors(v))
+      if (color[u] != kNoColor && color[u] < delta)
+        banned[static_cast<std::size_t>(color[u])] = true;
+    Color c = 0;
+    while (c < delta && banned[static_cast<std::size_t>(c)]) ++c;
+    DC_CHECK_MSG(c < delta, "rooted_greedy ran out of colors at " << v);
+    color[v] = c;
+  }
+}
+
+// First articulation point of the induced subgraph on `members`, or
+// kNoNode (Tarjan lowlink, iterative).
+NodeId find_articulation(const Graph& g, const std::vector<NodeId>& members) {
+  std::vector<bool> in_comp(g.num_nodes(), false);
+  for (const NodeId v : members) in_comp[v] = true;
+  std::vector<int> disc(g.num_nodes(), -1), low(g.num_nodes(), 0);
+  std::vector<NodeId> parent(g.num_nodes(), kNoNode);
+  int timer = 0;
+  const NodeId root = members.front();
+
+  struct Frame {
+    NodeId v;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  disc[root] = low[root] = timer++;
+  stack.push_back({root});
+  int root_children = 0;
+  NodeId articulation = kNoNode;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto nbrs = g.neighbors(f.v);
+    if (f.next_child < nbrs.size()) {
+      const NodeId y = nbrs[f.next_child++];
+      if (!in_comp[y]) continue;
+      if (disc[y] == -1) {
+        parent[y] = f.v;
+        if (f.v == root) ++root_children;
+        disc[y] = low[y] = timer++;
+        stack.push_back({y});
+      } else if (y != parent[f.v]) {
+        low[f.v] = std::min(low[f.v], disc[y]);
+      }
+    } else {
+      const NodeId v = f.v;
+      stack.pop_back();
+      if (!stack.empty()) {
+        const NodeId p = stack.back().v;
+        low[p] = std::min(low[p], low[v]);
+        if (p != root && low[v] >= disc[p] && articulation == kNoNode)
+          articulation = p;
+      }
+    }
+  }
+  if (articulation == kNoNode && root_children >= 2) articulation = root;
+  return articulation;
+}
+
+// Lovasz triple for a 2-connected, delta-regular, non-complete component:
+// v with non-adjacent neighbors u1, u2 such that members \ {u1, u2} stays
+// connected.
+struct Triple {
+  NodeId v = kNoNode, u1 = kNoNode, u2 = kNoNode;
+};
+Triple find_lovasz_triple(const Graph& g, const std::vector<NodeId>& members) {
+  std::vector<bool> in_comp(g.num_nodes(), false);
+  for (const NodeId v : members) in_comp[v] = true;
+  auto connected_without = [&](NodeId a, NodeId b) {
+    NodeId start = kNoNode;
+    for (const NodeId v : members)
+      if (v != a && v != b) {
+        start = v;
+        break;
+      }
+    if (start == kNoNode) return false;
+    std::vector<bool> seen(g.num_nodes(), false);
+    std::queue<NodeId> q;
+    seen[start] = true;
+    q.push(start);
+    std::size_t reached = 1;
+    while (!q.empty()) {
+      const NodeId x = q.front();
+      q.pop();
+      for (const NodeId y : g.neighbors(x)) {
+        if (!in_comp[y] || seen[y] || y == a || y == b) continue;
+        seen[y] = true;
+        ++reached;
+        q.push(y);
+      }
+    }
+    return reached == members.size() - 2;
+  };
+  for (const NodeId v : members) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const NodeId u1 = nbrs[i], u2 = nbrs[j];
+        if (!in_comp[u1] || !in_comp[u2] || g.has_edge(u1, u2)) continue;
+        if (connected_without(u1, u2)) return {v, u1, u2};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+BrooksResult brooks_coloring(const Graph& g) {
+  BrooksResult res;
+  const NodeId n = g.num_nodes();
+  res.color.assign(n, kNoColor);
+  const int delta = g.max_degree();
+  if (n == 0) {
+    res.success = true;
+    return res;
+  }
+  if (delta == 0) {  // isolated vertices: no palette at all
+    res.brooks_exception = true;
+    return res;
+  }
+
+  const Components comps = connected_components(g);
+  for (const auto& members : component_node_lists(comps)) {
+    if (members.size() == 1) {
+      res.color[members.front()] = 0;
+      continue;
+    }
+    // Exception 1: (delta+1)-clique.
+    if (members.size() == static_cast<std::size_t>(delta) + 1) {
+      bool complete = true;
+      for (const NodeId v : members)
+        if (g.degree(v) != delta) complete = false;
+      if (complete && is_clique(g, members)) {
+        res.brooks_exception = true;
+        return res;
+      }
+    }
+    // Exception 2: odd cycle when delta == 2.
+    if (delta == 2) {
+      bool cycle = true;
+      for (const NodeId v : members)
+        if (g.degree(v) != 2) cycle = false;
+      if (cycle && members.size() % 2 == 1) {
+        res.brooks_exception = true;
+        return res;
+      }
+    }
+
+    // A vertex of degree < delta: rooted greedy.
+    NodeId low_deg = kNoNode;
+    for (const NodeId v : members)
+      if (g.degree(v) < delta) {
+        low_deg = v;
+        break;
+      }
+    if (low_deg != kNoNode) {
+      rooted_greedy(g, members, low_deg, delta, res.color);
+      continue;
+    }
+
+    // Even cycle at delta == 2: alternate by BFS parity (the Lovasz-triple
+    // machinery needs delta >= 3).
+    if (delta == 2) {
+      std::vector<int> dist(g.num_nodes(), -1);
+      std::queue<NodeId> q;
+      dist[members.front()] = 0;
+      q.push(members.front());
+      while (!q.empty()) {
+        const NodeId a = q.front();
+        q.pop();
+        res.color[a] = dist[a] % 2;
+        for (const NodeId b : g.neighbors(a)) {
+          if (dist[b] != -1) continue;
+          dist[b] = dist[a] + 1;
+          q.push(b);
+        }
+      }
+      continue;
+    }
+
+    // delta-regular component. Articulation point?
+    const NodeId x = find_articulation(g, members);
+    if (x != kNoNode) {
+      // Color each side of x independently (x has degree < delta inside
+      // each side+x), permuting colors to agree on x.
+      std::vector<bool> in_comp(g.num_nodes(), false);
+      for (const NodeId v : members) in_comp[v] = true;
+      std::vector<bool> done(g.num_nodes(), false);
+      done[x] = true;
+      Color x_color = kNoColor;
+      for (const NodeId s0 : g.neighbors(x)) {
+        if (!in_comp[s0] || done[s0]) continue;
+        // Collect the side of s0 in members \ {x}.
+        std::vector<NodeId> side{x};
+        std::queue<NodeId> q;
+        done[s0] = true;
+        q.push(s0);
+        while (!q.empty()) {
+          const NodeId a = q.front();
+          q.pop();
+          side.push_back(a);
+          for (const NodeId b : g.neighbors(a)) {
+            if (!in_comp[b] || done[b]) continue;
+            done[b] = true;
+            q.push(b);
+          }
+        }
+        // Color the side rooted at x on fresh scratch colors (sides touch
+        // only at x, whose color is aligned below), then write back.
+        std::vector<Color> scratch(g.num_nodes(), kNoColor);
+        rooted_greedy(g, side, x, delta, scratch);
+        if (x_color == kNoColor) {
+          x_color = scratch[x];
+        } else if (scratch[x] != x_color) {
+          const Color other = scratch[x];
+          for (const NodeId v : side) {
+            if (scratch[v] == x_color)
+              scratch[v] = other;
+            else if (scratch[v] == other)
+              scratch[v] = x_color;
+          }
+          DC_CHECK(scratch[x] == x_color);
+        }
+        for (const NodeId v : side) res.color[v] = scratch[v];
+      }
+      continue;
+    }
+
+    // 2-connected, regular, non-complete: Lovasz triple.
+    const Triple t = find_lovasz_triple(g, members);
+    DC_CHECK_MSG(t.v != kNoNode,
+                 "no Lovasz triple in a 2-connected regular component");
+    res.color[t.u1] = 0;
+    res.color[t.u2] = 0;
+    std::vector<NodeId> rest;
+    for (const NodeId v : members)
+      if (v != t.u1 && v != t.u2) rest.push_back(v);
+    rooted_greedy(g, rest, t.v, delta, res.color);
+    continue;
+  }
+
+  res.success = true;
+  for (NodeId v = 0; v < n; ++v) DC_CHECK(res.color[v] != kNoColor);
+  return res;
+}
+
+}  // namespace deltacolor

@@ -1,0 +1,34 @@
+// Centralized Brooks' theorem [Bro41]: every connected graph with maximum
+// degree Delta that is neither a (Delta+1)-clique nor an odd cycle admits a
+// Delta-coloring. Used as ground truth for Delta-colorability and as the
+// sequential-quality baseline in bench E7.
+//
+// Construction (per connected component):
+//   * a vertex of degree < Delta: greedy in decreasing-BFS-distance order
+//     rooted there (every other vertex keeps a closer uncolored neighbor);
+//   * Delta-regular with an articulation point x: each block-side of x is
+//     colored by the rooted method (x has degree < Delta inside it) and
+//     its colors are permuted to agree on x;
+//   * 2-connected Delta-regular non-complete: a Lovasz triple (v; u1, u2)
+//     with u1, u2 non-adjacent neighbors of v whose removal keeps the rest
+//     connected; u1 and u2 share a color and v is colored last.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+
+struct BrooksResult {
+  std::vector<Color> color;
+  bool success = false;
+  /// Set when some component is a (Delta+1)-clique or an odd cycle at
+  /// Delta = 2 — the exceptions of Brooks' theorem.
+  bool brooks_exception = false;
+};
+
+/// Delta-colors g with Delta = g.max_degree() colors (centralized).
+BrooksResult brooks_coloring(const Graph& g);
+
+}  // namespace deltacolor

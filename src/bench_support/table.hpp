@@ -1,0 +1,76 @@
+// Table printing for the experiment benches: aligned columns with a
+// markdown-ish layout, plus claimed-vs-measured verdict helpers.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace deltacolor::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        os << ' ' << s << std::string(width[c] - s.size(), ' ') << " |";
+      }
+      os << '\n';
+    };
+    line(headers_);
+    {
+      os << "|";
+      for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << "|";
+      os << '\n';
+    }
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return value;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os.precision(3);
+      os << std::fixed << value;
+      return os.str();
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline const char* verdict(bool ok) { return ok ? "OK" : "VIOLATED"; }
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " — " << claim << " ===\n\n";
+}
+
+}  // namespace deltacolor::bench

@@ -1,0 +1,40 @@
+// Shared workload builders for the experiment benches.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/generators.hpp"
+#include "primitives/hypergraph.hpp"
+
+namespace deltacolor::bench {
+
+/// Hard dense instance: t cliques of size delta, vertex degree exactly
+/// delta, no loopholes anywhere.
+inline CliqueInstance hard_instance(int cliques, int delta,
+                                    std::uint64_t seed) {
+  CliqueInstanceOptions opt;
+  opt.num_cliques = cliques;
+  opt.delta = delta;
+  opt.clique_size = delta;
+  opt.seed = seed;
+  return clique_blowup_instance(opt);
+}
+
+/// Mixed instance with a fraction of easy cliques.
+inline CliqueInstance mixed_instance(int cliques, int delta, double easy,
+                                     std::uint64_t seed) {
+  CliqueInstanceOptions opt;
+  opt.num_cliques = cliques;
+  opt.delta = delta;
+  opt.clique_size = delta;
+  opt.easy_fraction = easy;
+  opt.seed = seed;
+  return clique_blowup_instance(opt);
+}
+
+/// Random multihypergraph with min degree >= `delta` and rank <= `rank`
+/// (the Lemma 5 workload for bench E8).
+Hypergraph random_hypergraph(int num_vertices, int delta, int rank,
+                             std::uint64_t seed);
+
+}  // namespace deltacolor::bench

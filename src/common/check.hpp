@@ -1,0 +1,42 @@
+// Internal invariant checking. DC_CHECK is always on (algorithm-correctness
+// invariants are the product here); DC_DCHECK compiles out in release builds
+// for hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deltacolor::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace deltacolor::detail
+
+#define DC_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::deltacolor::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define DC_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream dc_os_;                                           \
+      dc_os_ << msg;                                                       \
+      ::deltacolor::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                         dc_os_.str());                    \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DC_DCHECK(expr) ((void)0)
+#else
+#define DC_DCHECK(expr) DC_CHECK(expr)
+#endif

@@ -1,0 +1,80 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed so every
+// experiment is reproducible from its seed. xoshiro256** with splitmix64
+// seeding; satisfies UniformRandomBitGenerator so it plugs into <random>.
+#pragma once
+
+#include <cstdint>
+
+namespace deltacolor {
+
+/// splitmix64 step — used for seeding and for cheap per-node hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of (seed, a, b) to a uniform 64-bit value. Used by node
+/// programs that need per-(node, round) randomness without shared state.
+inline std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t a,
+                              std::uint64_t b = 0) {
+  std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xc2b2ae3d27d4eb4fULL);
+  return splitmix64(s);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire-style rejection-free-enough reduction; bias is negligible for
+    // our bounds (<< 2^32) but we reject to be exact.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace deltacolor

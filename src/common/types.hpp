@@ -1,0 +1,36 @@
+// Core scalar types shared across the deltacolor library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace deltacolor {
+
+/// Index of a node inside a Graph (0 .. n-1). Distinct from the node's
+/// LOCAL-model identifier (see Graph::id), which is what symmetry-breaking
+/// algorithms are allowed to use.
+using NodeId = std::uint32_t;
+
+/// Index of an undirected edge inside a Graph (0 .. m-1).
+using EdgeId = std::uint32_t;
+
+/// A color. Palettes are 0-based: a Delta-coloring uses {0, .., Delta-1}.
+using Color = std::int32_t;
+
+/// Sentinel for "not yet colored".
+inline constexpr Color kNoColor = -1;
+
+/// Sentinel node / edge indices.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// The paper fixes epsilon = 1/63 for the almost-clique decomposition
+/// (Lemma 2) and all downstream constants derive from it.
+inline constexpr double kAcdEpsilon = 1.0 / 63.0;
+
+/// Number of virtual sub-cliques each hard clique is partitioned into for
+/// the hyperedge-grabbing instance (Section 3.3). Exposed as a default so
+/// the ablation bench (E12) can sweep it.
+inline constexpr int kSubCliqueCount = 28;
+
+}  // namespace deltacolor

@@ -1,0 +1,71 @@
+#include "core/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace deltacolor {
+
+std::string PipelineTrace::summary() const {
+  std::ostringstream os;
+  int live = 0, dropped_count = 0;
+  for (const auto& t : triads) (t.dropped ? dropped_count : live)++;
+  os << "F1=" << f1.size() << " F2=" << f2.size() << " F3="
+     << f3_of_f2.size() << " triads=" << live << " (dropped="
+     << dropped_count << ")";
+  return os.str();
+}
+
+void PipelineTrace::write_dot(std::ostream& os, const Graph& g,
+                              const Acd& acd,
+                              const std::vector<Color>* final_colors) const {
+  os << "graph deltacolor {\n  layout=neato;\n  node [shape=circle, "
+        "fontsize=9];\n";
+  // Role markers.
+  std::vector<int> role(g.num_nodes(), 0);  // 1=slack 2=pair
+  for (const auto& t : triads) {
+    if (t.dropped) continue;
+    role[t.slack] = 1;
+    role[t.pair_in] = 2;
+    role[t.pair_out] = 2;
+  }
+  for (std::size_t c = 0; c < acd.cliques.size(); ++c) {
+    os << "  subgraph cluster_" << c << " {\n    label=\"C" << c << "\";\n";
+    for (const NodeId v : acd.cliques[c]) {
+      os << "    " << v << " [";
+      if (role[v] == 1) os << "shape=doublecircle, ";
+      if (role[v] == 2) os << "style=filled, fillcolor=orange, ";
+      if (final_colors != nullptr && (*final_colors)[v] != kNoColor)
+        os << "label=\"" << v << "\\nc" << (*final_colors)[v] << "\"";
+      else
+        os << "label=\"" << v << "\"";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  // F3 (kept) edges bold, other F2 edges dashed, remaining graph edges
+  // faint.
+  std::vector<bool> in_f2(g.num_edges(), false), in_f3(g.num_edges(), false);
+  for (const auto& [a, b] : f2) {
+    const EdgeId e = g.edge_between(a, b);
+    if (e != kNoEdge) in_f2[e] = true;
+  }
+  for (const int k : f3_of_f2) {
+    const auto [a, b] = f2[static_cast<std::size_t>(k)];
+    const EdgeId e = g.edge_between(a, b);
+    if (e != kNoEdge) in_f3[e] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    os << "  " << u << " -- " << v;
+    if (in_f3[e])
+      os << " [penwidth=3, color=red]";
+    else if (in_f2[e])
+      os << " [style=dashed, color=blue]";
+    else
+      os << " [color=gray80]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace deltacolor

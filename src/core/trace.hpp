@@ -1,0 +1,45 @@
+// Pipeline trace: optional capture of Algorithm 2's intermediate
+// artifacts — the matchings F1/F2/F3, the slack triads, and the slack-pair
+// colors — for inspection, debugging, and visualization (Figures 2-4 of
+// the paper as concrete data).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "acd/acd.hpp"
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+
+struct PipelineTrace {
+  /// Maximal matching on the hard cross edges (Step 1).
+  std::vector<std::pair<NodeId, NodeId>> f1;
+  /// Rearranged oriented matching (Step 3/4): (tail, head), tail in the
+  /// grabbing clique.
+  std::vector<std::pair<NodeId, NodeId>> f2;
+  /// Sparsified matching (Step 5/6): indices into f2 that survived.
+  std::vector<int> f3_of_f2;
+
+  struct TriadRecord {
+    NodeId slack = kNoNode;
+    NodeId pair_in = kNoNode;
+    NodeId pair_out = kNoNode;
+    int clique = -1;       ///< AC index of the owning clique
+    Color pair_color = kNoColor;
+    bool dropped = false;  ///< removed by the Phase 4A feasibility filter
+  };
+  std::vector<TriadRecord> triads;
+
+  std::string summary() const;
+
+  /// Graphviz export of the instance: cliques as clusters, F3 edges bold,
+  /// slack triads highlighted (slack vertex double circle, pair vertices
+  /// filled), vertices labeled with final colors if provided.
+  void write_dot(std::ostream& os, const Graph& g, const Acd& acd,
+                 const std::vector<Color>* final_colors = nullptr) const;
+};
+
+}  // namespace deltacolor

@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/rng.hpp"
+
+namespace deltacolor {
+
+Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges) {
+  for (auto& [u, v] : edges) {
+    DC_CHECK_MSG(u != v, "self loop at node " << u);
+    DC_CHECK_MSG(u < num_nodes && v < num_nodes,
+                 "edge (" << u << "," << v << ") out of range n=" << num_nodes);
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+
+  offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  adjacency_.resize(edges_.size() * 2);
+  arc_edge_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    adjacency_[cursor[u]] = v;
+    arc_edge_[cursor[u]++] = e;
+    adjacency_[cursor[v]] = u;
+    arc_edge_[cursor[v]++] = e;
+  }
+  // Sort each node's arcs by neighbor index, keeping arc_edge_ aligned.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::size_t lo = offsets_[v], hi = offsets_[v + 1];
+    std::vector<std::pair<NodeId, EdgeId>> arcs;
+    arcs.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i)
+      arcs.emplace_back(adjacency_[i], arc_edge_[i]);
+    std::sort(arcs.begin(), arcs.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      adjacency_[i] = arcs[i - lo].first;
+      arc_edge_[i] = arcs[i - lo].second;
+    }
+    max_degree_ = std::max(max_degree_, static_cast<int>(hi - lo));
+  }
+  ids_ = identity_ids(num_nodes);
+}
+
+EdgeId Graph::edge_between(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kNoEdge;
+  return incident_edges(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+void Graph::set_ids(std::vector<std::uint64_t> ids) {
+  DC_CHECK(ids.size() == num_nodes());
+  auto sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  DC_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                   sorted.end(),
+               "node identifiers must be unique");
+  ids_ = std::move(ids);
+}
+
+bool Graph::within_distance(NodeId u, NodeId v, int radius) const {
+  if (u == v) return true;
+  std::vector<int> dist(num_nodes(), -1);
+  std::queue<NodeId> q;
+  dist[u] = 0;
+  q.push(u);
+  while (!q.empty()) {
+    const NodeId x = q.front();
+    q.pop();
+    if (dist[x] >= radius) continue;
+    for (const NodeId y : neighbors(x)) {
+      if (dist[y] != -1) continue;
+      dist[y] = dist[x] + 1;
+      if (y == v) return true;
+      q.push(y);
+    }
+  }
+  return false;
+}
+
+std::size_t Graph::num_components() const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::size_t components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < num_nodes(); ++s) {
+    if (seen[s]) continue;
+    ++components;
+    seen[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      for (const NodeId y : neighbors(x)) {
+        if (!seen[y]) {
+          seen[y] = true;
+          stack.push_back(y);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<std::uint64_t> identity_ids(NodeId n) {
+  std::vector<std::uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), std::uint64_t{0});
+  return ids;
+}
+
+std::vector<std::uint64_t> shuffled_ids(NodeId n, std::uint64_t seed) {
+  auto ids = identity_ids(n);
+  Rng rng(seed);
+  for (NodeId i = n; i > 1; --i) {
+    const auto j = rng.below(i);
+    std::swap(ids[i - 1], ids[j]);
+  }
+  return ids;
+}
+
+}  // namespace deltacolor

@@ -1,0 +1,97 @@
+// Immutable undirected simple graph in CSR form.
+//
+// Nodes are dense indices 0..n-1. Separately, every node carries a LOCAL
+// identifier (Graph::id): distributed algorithms must break symmetry using
+// these identifiers only, so test harnesses can permute them adversarially
+// without touching the topology.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace deltacolor {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list. Edges must be simple (no self loops); pairs
+  /// are deduplicated. Node count is explicit so isolated nodes survive.
+  Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  int degree(NodeId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  int max_degree() const { return max_degree_; }
+
+  /// Neighbors of v, sorted ascending by node index.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge index of each arc out of v, aligned with neighbors(v).
+  std::span<const EdgeId> incident_edges(NodeId v) const {
+    return {arc_edge_.data() + offsets_[v], arc_edge_.data() + offsets_[v + 1]};
+  }
+
+  bool has_edge(NodeId u, NodeId v) const {
+    return edge_between(u, v) != kNoEdge;
+  }
+
+  /// Edge index between u and v, or kNoEdge. O(log deg) via binary search.
+  EdgeId edge_between(NodeId u, NodeId v) const;
+
+  /// Endpoints of edge e with endpoints().first < endpoints().second.
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const { return edges_[e]; }
+
+  /// Given edge e incident to v, the other endpoint.
+  NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const auto [a, b] = edges_[e];
+    DC_DCHECK(v == a || v == b);
+    return v == a ? b : a;
+  }
+
+  /// LOCAL-model identifier of node v (unique, not necessarily 0..n-1).
+  std::uint64_t id(NodeId v) const { return ids_[v]; }
+
+  /// Installs a fresh identifier assignment (must be unique, size n).
+  void set_ids(std::vector<std::uint64_t> ids);
+
+  /// All edges as (u, v) pairs with u < v.
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edges_;
+  }
+
+  /// True if u and v are within distance `radius` (BFS; intended for tests
+  /// and small virtual graphs, not hot paths).
+  bool within_distance(NodeId u, NodeId v, int radius) const;
+
+  /// Number of connected components.
+  std::size_t num_components() const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
+  std::vector<EdgeId> arc_edge_;      // size 2m, aligned with adjacency_
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // size m, u < v
+  std::vector<std::uint64_t> ids_;    // size n
+  int max_degree_ = 0;
+};
+
+/// Convenience: identity identifiers 0..n-1.
+std::vector<std::uint64_t> identity_ids(NodeId n);
+
+/// Random permutation identifiers (for adversarial/randomized ID tests).
+std::vector<std::uint64_t> shuffled_ids(NodeId n, std::uint64_t seed);
+
+}  // namespace deltacolor

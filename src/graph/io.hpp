@@ -1,0 +1,22 @@
+// Plain-text graph serialization: a header line "n m" followed by one "u v"
+// line per edge, plus Graphviz export for small illustrations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+
+void write_edge_list(std::ostream& os, const Graph& g);
+Graph read_edge_list(std::istream& is);
+
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+/// Graphviz "graph { .. }" output; nodes can carry color labels.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<Color>* colors = nullptr);
+
+}  // namespace deltacolor

@@ -1,0 +1,42 @@
+// Derived graphs: induced subgraphs (with node maps), power graphs, and the
+// line graph. These back the paper's virtual-graph constructions and the
+// class-greedy primitives.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+
+/// An induced subgraph together with the mapping to/from the host graph.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> orig_of;  ///< sub node -> host node
+  std::vector<NodeId> sub_of;   ///< host node -> sub node (kNoNode if absent)
+};
+
+/// Subgraph of `g` induced by `nodes` (need not be sorted/unique).
+/// Identifiers are inherited from the host graph.
+Subgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Power graph G^r: same nodes, edge between u != v iff dist_G(u, v) <= r.
+/// Intended for small r on bounded-degree graphs (used by ruling sets).
+Graph power_graph(const Graph& g, int r);
+
+/// The line graph L(G): one node per edge of g, adjacency iff the edges
+/// share an endpoint. Node i of the line graph corresponds to EdgeId i.
+/// Identifiers are derived from endpoint identifiers (unique per edge).
+Graph line_graph(const Graph& g);
+
+/// Connected components: returns component index per node and the count.
+struct Components {
+  std::vector<int> component_of;  ///< per node
+  int count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// Nodes of one component.
+std::vector<std::vector<NodeId>> component_node_lists(const Components& c);
+
+}  // namespace deltacolor

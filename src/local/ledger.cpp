@@ -1,0 +1,48 @@
+#include "local/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace deltacolor {
+
+void RoundLedger::charge(const std::string& phase, std::int64_t rounds,
+                         std::int64_t dilation) {
+  DC_CHECK(rounds >= 0 && dilation >= 1);
+  const std::int64_t real = rounds * dilation;
+  total_ += real;
+  const auto it =
+      std::find_if(phases_.begin(), phases_.end(),
+                   [&](const auto& p) { return p.first == phase; });
+  if (it == phases_.end())
+    phases_.emplace_back(phase, real);
+  else
+    it->second += real;
+}
+
+std::int64_t RoundLedger::phase_total(const std::string& phase) const {
+  const auto it =
+      std::find_if(phases_.begin(), phases_.end(),
+                   [&](const auto& p) { return p.first == phase; });
+  return it == phases_.end() ? 0 : it->second;
+}
+
+void RoundLedger::merge(const RoundLedger& other) {
+  for (const auto& [phase, rounds] : other.phases_) charge(phase, rounds);
+}
+
+std::string RoundLedger::report() const {
+  std::ostringstream os;
+  for (const auto& [phase, rounds] : phases_)
+    os << "  " << phase << ": " << rounds << " rounds\n";
+  os << "  TOTAL: " << total_ << " rounds\n";
+  return os.str();
+}
+
+void RoundLedger::clear() {
+  phases_.clear();
+  total_ = 0;
+}
+
+}  // namespace deltacolor

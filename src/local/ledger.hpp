@@ -1,0 +1,48 @@
+// Round accounting for the LOCAL model.
+//
+// Every distributed subroutine charges the rounds it consumed, tagged with a
+// phase label, so benches can report both the total round complexity and the
+// per-phase breakdown of Lemma 18. Virtual-graph subroutines charge
+// dilation * virtual_rounds, where the dilation is the number of real
+// communication rounds needed to simulate one round of the virtual graph
+// (<= 6 for every virtual graph in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deltacolor {
+
+class RoundLedger {
+ public:
+  /// Charges `rounds` real rounds against `phase`.
+  void charge(const std::string& phase, std::int64_t rounds,
+              std::int64_t dilation = 1);
+
+  /// Total rounds across all phases.
+  std::int64_t total() const { return total_; }
+
+  /// Rounds charged against one phase label (0 if absent).
+  std::int64_t phase_total(const std::string& phase) const;
+
+  /// (phase, rounds) in first-charge order.
+  const std::vector<std::pair<std::string, std::int64_t>>& phases() const {
+    return phases_;
+  }
+
+  /// Adds every phase of `other` into this ledger.
+  void merge(const RoundLedger& other);
+
+  /// Human-readable multi-line breakdown.
+  std::string report() const;
+
+  void clear();
+
+ private:
+  std::vector<std::pair<std::string, std::int64_t>> phases_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace deltacolor

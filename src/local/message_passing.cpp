@@ -1,0 +1,144 @@
+#include "local/message_passing.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "local/sync_runner.hpp"
+
+namespace deltacolor {
+
+namespace {
+
+enum class MisStatus : std::uint8_t { kUndecided, kCandidate, kIn, kOut };
+
+struct MisState {
+  MisStatus status = MisStatus::kUndecided;
+  std::uint64_t draw = 0;
+  int round = 0;
+};
+
+}  // namespace
+
+std::vector<bool> mis_message_passing(const Graph& g, std::uint64_t seed,
+                                      RoundLedger& ledger,
+                                      const std::string& phase) {
+  const NodeId n = g.num_nodes();
+  SyncRunner<MisState> runner(g, std::vector<MisState>(n));
+  const int max_rounds = 128 * (32 - __builtin_clz(n + 2));
+
+  const auto step = [&](const SyncRunner<MisState>::View& view) {
+    MisState s = view.self();
+    s.round = view.self().round + 1;
+    if (s.status == MisStatus::kIn || s.status == MisStatus::kOut) return s;
+    if (view.self().round % 2 == 0) {
+      // Draw phase: publish a fresh random value and become a candidate.
+      s.draw = hash_mix(seed, view.id(),
+                        static_cast<std::uint64_t>(view.self().round)) |
+               1;
+      s.status = MisStatus::kCandidate;
+      return s;
+    }
+    // Resolution phase: join if the own draw is the strict local maximum
+    // among undecided neighbors; drop out if a neighbor joined earlier.
+    bool is_max = true;
+    for (const NodeId u : view.neighbors()) {
+      const MisState& nb = view.neighbor(u);
+      if (nb.status == MisStatus::kIn) {
+        s.status = MisStatus::kOut;
+        return s;
+      }
+      if (nb.status != MisStatus::kCandidate) continue;
+      if (nb.draw > s.draw || (nb.draw == s.draw && g.id(u) > view.id()))
+        is_max = false;
+    }
+    if (is_max) {
+      s.status = MisStatus::kIn;
+    } else {
+      s.status = MisStatus::kUndecided;
+    }
+    return s;
+  };
+  const auto done = [](const std::vector<MisState>& states) {
+    for (const MisState& s : states) {
+      if (s.status == MisStatus::kUndecided ||
+          s.status == MisStatus::kCandidate) {
+        // A candidate may still need its resolution round.
+        return false;
+      }
+    }
+    return true;
+  };
+  // One extra sweep after the last join lets neighbors observe it.
+  int rounds = runner.run(max_rounds, step, done);
+  // Post-pass: neighbors of IN nodes that were still undecided at halt.
+  std::vector<bool> in_set(n, false);
+  for (NodeId v = 0; v < n; ++v)
+    in_set[v] = runner.states()[v].status == MisStatus::kIn;
+  DC_CHECK_MSG(rounds < max_rounds, "mis_message_passing did not converge");
+  ledger.charge(phase, rounds);
+  return in_set;
+}
+
+namespace {
+
+struct TrialState {
+  Color color = kNoColor;   // committed color
+  Color trial = kNoColor;   // this round's attempt
+  int round = 0;
+};
+
+}  // namespace
+
+std::vector<Color> color_trial_message_passing(const Graph& g,
+                                               std::uint64_t seed,
+                                               RoundLedger& ledger,
+                                               const std::string& phase) {
+  const NodeId n = g.num_nodes();
+  const int palette = g.max_degree() + 1;
+  SyncRunner<TrialState> runner(g, std::vector<TrialState>(n));
+  const int max_rounds = 128 * (32 - __builtin_clz(n + 2));
+
+  const auto step = [&](const SyncRunner<TrialState>::View& view) {
+    TrialState s = view.self();
+    s.round = view.self().round + 1;
+    if (s.color != kNoColor) return s;
+    if (view.self().round % 2 == 0) {
+      // Trial phase: sample a color unused by committed neighbors.
+      std::vector<bool> used(static_cast<std::size_t>(palette), false);
+      for (const NodeId u : view.neighbors()) {
+        const Color cu = view.neighbor(u).color;
+        if (cu != kNoColor) used[static_cast<std::size_t>(cu)] = true;
+      }
+      std::vector<Color> free;
+      for (Color c = 0; c < palette; ++c)
+        if (!used[static_cast<std::size_t>(c)]) free.push_back(c);
+      DC_CHECK(!free.empty());
+      s.trial = free[hash_mix(seed, view.id(),
+                              static_cast<std::uint64_t>(view.self().round)) %
+                     free.size()];
+      return s;
+    }
+    // Commit phase: keep the trial unless a neighbor tried or holds it.
+    bool clash = false;
+    for (const NodeId u : view.neighbors()) {
+      const TrialState& nb = view.neighbor(u);
+      if (nb.trial == s.trial || nb.color == s.trial) clash = true;
+    }
+    if (!clash) s.color = s.trial;
+    s.trial = kNoColor;
+    return s;
+  };
+  const auto done = [](const std::vector<TrialState>& states) {
+    for (const TrialState& s : states)
+      if (s.color == kNoColor) return false;
+    return true;
+  };
+  const int rounds = runner.run(max_rounds, step, done);
+  DC_CHECK_MSG(rounds < max_rounds,
+               "color_trial_message_passing did not converge");
+  std::vector<Color> color(n);
+  for (NodeId v = 0; v < n; ++v) color[v] = runner.states()[v].color;
+  ledger.charge(phase, rounds);
+  return color;
+}
+
+}  // namespace deltacolor

@@ -1,0 +1,93 @@
+// Double-buffered synchronous execution engine for LOCAL-model node
+// programs.
+//
+// Fidelity contract: in round t, a node's transition function sees only its
+// own round-(t-1) state and the round-(t-1) states of its direct neighbors
+// (unbounded messages in LOCAL make "publish full state" the most general
+// message). The engine enforces this structurally: transitions write into a
+// shadow buffer that becomes visible only after every node has stepped.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+
+template <typename State>
+class SyncRunner {
+ public:
+  /// The per-node view a transition function receives.
+  class View {
+   public:
+    View(const Graph& g, NodeId v, const std::vector<State>& prev)
+        : g_(g), v_(v), prev_(prev) {}
+
+    NodeId node() const { return v_; }
+    std::uint64_t id() const { return g_.id(v_); }
+    int degree() const { return g_.degree(v_); }
+    std::span<const NodeId> neighbors() const { return g_.neighbors(v_); }
+
+    const State& self() const { return prev_[v_]; }
+
+    /// Round-(t-1) state of a *neighbor* u. Adjacency is checked in debug
+    /// builds — reading a non-neighbor's state would break the LOCAL model.
+    const State& neighbor(NodeId u) const {
+      DC_DCHECK(g_.has_edge(v_, u));
+      return prev_[u];
+    }
+
+   private:
+    const Graph& g_;
+    NodeId v_;
+    const std::vector<State>& prev_;
+  };
+
+  /// Transition: given the view of round t-1, produce the round-t state.
+  using Step = std::function<State(const View&)>;
+  /// Global halting predicate, evaluated between rounds by the harness.
+  /// (This is a simulation-harness convenience, not node knowledge; all
+  /// algorithms in the library also have explicit round bounds.)
+  using Done = std::function<bool(const std::vector<State>&)>;
+
+  SyncRunner(const Graph& g, std::vector<State> initial)
+      : g_(g), cur_(std::move(initial)) {
+    DC_CHECK(cur_.size() == g_.num_nodes());
+    nxt_.resize(cur_.size());
+  }
+
+  /// Runs until `done` or `max_rounds`; returns rounds executed.
+  int run(int max_rounds, const Step& step, const Done& done) {
+    int rounds = 0;
+    while (rounds < max_rounds && !done(cur_)) {
+      for (NodeId v = 0; v < g_.num_nodes(); ++v)
+        nxt_[v] = step(View(g_, v, cur_));
+      cur_.swap(nxt_);
+      ++rounds;
+    }
+    return rounds;
+  }
+
+  const std::vector<State>& states() const { return cur_; }
+  std::vector<State> take_states() { return std::move(cur_); }
+
+ private:
+  const Graph& g_;
+  std::vector<State> cur_;
+  std::vector<State> nxt_;
+};
+
+/// One round of "everyone publishes, everyone reads neighbors" implemented
+/// directly for hand-rolled primitives that keep their own buffers: copies
+/// `next` over `cur` and returns the incremented round count. Purely a
+/// readability helper to keep the double-buffer discipline visible.
+template <typename State>
+int commit_round(std::vector<State>& cur, std::vector<State>& next,
+                 int rounds) {
+  cur.swap(next);
+  return rounds + 1;
+}
+
+}  // namespace deltacolor

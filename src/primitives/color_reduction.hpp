@@ -1,0 +1,91 @@
+// Kuhn-Wattenhofer color reduction: from any proper k-coloring to a proper
+// `target`-coloring (target >= Delta + 1) in O(Delta * log(k/Delta))
+// rounds.
+//
+// One stage partitions the palette into groups of 2*target consecutive
+// colors. Within every group, in parallel across groups, the upper target
+// colors are eliminated one per round: all holders of the eliminated color
+// (an independent set) simultaneously move to a free color among the
+// group's lower `target` colors — at most Delta of those are blocked by
+// neighbors, and only neighbors inside the same group matter. A stage
+// halves the palette at the cost of `target` rounds; after O(log(k/target))
+// stages the palette is `target`.
+//
+// Used to shrink Linial's O(Delta^2) palette before class-greedy sweeps,
+// turning their round cost from O(Delta^2) into O(Delta log Delta).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/graph.hpp"
+#include "local/ledger.hpp"
+#include "primitives/linial.hpp"
+
+namespace deltacolor {
+
+/// Generic reduction over an implicit graph (see linial_reduce).
+/// `color` must be a proper coloring with values in [0, num_colors).
+template <typename ForEachNeighbor>
+LinialResult kw_reduce(NodeId n, int max_degree, std::vector<Color> color,
+                       int num_colors, int target,
+                       ForEachNeighbor&& for_each_neighbor,
+                       RoundLedger& ledger, const std::string& phase) {
+  DC_CHECK_MSG(target >= max_degree + 1,
+               "KW reduction target " << target << " below Delta+1 = "
+                                      << max_degree + 1);
+  LinialResult res;
+  int k = num_colors;
+  while (k > target) {
+    const int group_size = 2 * target;
+    // Eliminate group-local colors [target, 2*target), top first, one
+    // round each (lockstep across groups).
+    for (int offset = group_size - 1; offset >= target; --offset) {
+      if (offset >= k) continue;  // nobody holds such a color anywhere
+      for (NodeId v = 0; v < n; ++v) {
+        if (color[v] % group_size != offset) continue;
+        const Color group_base = color[v] - offset;
+        bool used[2 * 1024];  // target <= 1024 guarded below
+        DC_CHECK(target <= 1024);
+        for (int c = 0; c < target; ++c) used[c] = false;
+        for_each_neighbor(v, [&](NodeId u) {
+          const Color cu = color[u];
+          if (cu >= group_base && cu < group_base + target)
+            used[cu - group_base] = true;
+        });
+        Color pick = -1;
+        for (int c = 0; c < target && pick == -1; ++c)
+          if (!used[c]) pick = group_base + c;
+        DC_CHECK_MSG(pick != -1, "KW: no free color at node " << v);
+        color[v] = pick;
+      }
+      ++res.rounds;
+    }
+    // Compact: group g's surviving colors [g*2t, g*2t + t) -> [g*t, (g+1)*t).
+    for (NodeId v = 0; v < n; ++v) {
+      const Color group = color[v] / group_size;
+      const Color within = color[v] % group_size;
+      DC_DCHECK(within < target);
+      color[v] = group * target + within;
+    }
+    k = ((k + group_size - 1) / group_size) * target;
+  }
+  res.color = std::move(color);
+  res.num_colors = std::min(k, num_colors);
+  ledger.charge(phase, res.rounds);
+  return res;
+}
+
+/// Graph convenience overload.
+LinialResult kw_reduce_graph(const Graph& g, std::vector<Color> color,
+                             int num_colors, int target, RoundLedger& ledger,
+                             const std::string& phase = "kw-reduce");
+
+/// Linial followed by KW down to Delta+1 colors: a proper
+/// (Delta+1)-coloring in O(Delta log Delta + log* n) rounds — the schedule
+/// generator used by the class-greedy subroutines.
+LinialResult schedule_coloring(const Graph& g, RoundLedger& ledger,
+                               const std::string& phase = "schedule");
+
+}  // namespace deltacolor

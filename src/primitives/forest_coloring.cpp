@@ -1,0 +1,110 @@
+#include "primitives/forest_coloring.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace deltacolor {
+
+namespace {
+
+int lowest_differing_bit(std::uint64_t a, std::uint64_t b) {
+  DC_DCHECK(a != b);
+  return __builtin_ctzll(a ^ b);
+}
+
+}  // namespace
+
+ForestColoringResult forest_3_coloring(const std::vector<NodeId>& parent,
+                                       const std::vector<std::uint64_t>& ids,
+                                       RoundLedger& ledger,
+                                       const std::string& phase) {
+  const std::size_t n = parent.size();
+  DC_CHECK(ids.size() == n);
+  ForestColoringResult res;
+  res.color.assign(n, 0);
+  if (n == 0) return res;
+
+  std::vector<std::uint64_t> cur = ids;
+  for (std::size_t v = 0; v < n; ++v)
+    if (parent[v] != kNoNode)
+      DC_CHECK_MSG(cur[v] != cur[parent[v]],
+                   "forest_3_coloring: duplicate ids along an edge");
+
+  // Cole-Vishkin reduction until the palette stabilizes at {0..5}.
+  std::vector<std::uint64_t> nxt(n);
+  std::uint64_t max_val = 0;
+  for (const std::uint64_t c : cur) max_val = std::max(max_val, c);
+  while (max_val >= 6) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint64_t mine = cur[v];
+      const std::uint64_t other =
+          parent[v] == kNoNode ? (mine ^ 1) : cur[parent[v]];
+      const int i = lowest_differing_bit(mine, other);
+      nxt[v] = 2 * static_cast<std::uint64_t>(i) + ((mine >> i) & 1);
+    }
+    cur.swap(nxt);
+    ++res.rounds;
+    max_val = 0;
+    for (const std::uint64_t c : cur) max_val = std::max(max_val, c);
+    DC_CHECK_MSG(res.rounds < 80, "Cole-Vishkin failed to converge");
+  }
+
+  // Eliminate colors 5, 4, 3 with shift-down + recolor.
+  for (std::uint64_t eliminate = 5; eliminate >= 3; --eliminate) {
+    // Shift-down: adopt the parent's color; roots pick a different color
+    // from {0, 1, 2} (any not equal to their own suffices for properness
+    // against their children, who now all hold the root's old color).
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] == kNoNode) {
+        nxt[v] = cur[v] == 0 ? 1 : 0;
+      } else {
+        nxt[v] = cur[parent[v]];
+      }
+    }
+    cur.swap(nxt);
+    ++res.rounds;
+    // Recolor the eliminated class: all its holders act simultaneously
+    // (they form an independent set in the forest after shift-down:
+    // parent and children of a holder hold other... parent may also hold
+    // `eliminate`; holders only consult colors < eliminate among their
+    // neighbors and pick greedily from {0,1,2} — parent and (uniform)
+    // child colors block at most two choices).
+    for (std::size_t v = 0; v < n; ++v) {
+      if (cur[v] != eliminate) continue;
+      // Neighborhood colors: parent's and the (shared) children color.
+      std::uint64_t blocked1 = ~std::uint64_t{0}, blocked2 = ~std::uint64_t{0};
+      if (parent[v] != kNoNode) blocked1 = cur[parent[v]];
+      // Children all hold v's pre-shift color, i.e. nxt[v] (the swapped
+      // buffer still carries it).
+      blocked2 = nxt[v];
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if (c != blocked1 && c != blocked2) {
+          cur[v] = c;
+          break;
+        }
+      }
+      DC_CHECK(cur[v] != eliminate);
+    }
+    ++res.rounds;
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    DC_CHECK(cur[v] < 3);
+    res.color[v] = static_cast<Color>(cur[v]);
+  }
+  ledger.charge(phase, res.rounds);
+  return res;
+}
+
+bool is_proper_forest_coloring(const std::vector<NodeId>& parent,
+                               const std::vector<Color>& color,
+                               int num_colors) {
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (color[v] < 0 || color[v] >= num_colors) return false;
+    if (parent[v] != kNoNode && color[v] == color[parent[v]]) return false;
+  }
+  return true;
+}
+
+}  // namespace deltacolor

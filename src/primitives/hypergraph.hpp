@@ -1,0 +1,47 @@
+// Multihypergraph support for the hyperedge grabbing problem (Lemma 5,
+// [BMN+25-role]).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace deltacolor {
+
+struct Hypergraph {
+  /// edges[f] lists the member vertex indices of hyperedge f (duplicates
+  /// allowed across edges: this is a multihypergraph).
+  std::vector<std::vector<int>> edges;
+  int num_vertices = 0;
+
+  /// incidence[v] lists the hyperedges containing v (built on demand).
+  std::vector<std::vector<int>> incidence;
+
+  void build_incidence() {
+    incidence.assign(num_vertices, {});
+    for (std::size_t f = 0; f < edges.size(); ++f)
+      for (const int v : edges[f]) {
+        DC_CHECK(v >= 0 && v < num_vertices);
+        incidence[v].push_back(static_cast<int>(f));
+      }
+  }
+
+  /// Maximum number of vertices in any hyperedge.
+  int rank() const {
+    std::size_t r = 0;
+    for (const auto& e : edges) r = std::max(r, e.size());
+    return static_cast<int>(r);
+  }
+
+  /// Minimum number of hyperedges incident to any vertex (requires
+  /// build_incidence()).
+  int min_degree() const {
+    DC_CHECK(static_cast<int>(incidence.size()) == num_vertices);
+    std::size_t d = edges.size();
+    for (const auto& inc : incidence) d = std::min(d, inc.size());
+    return static_cast<int>(d);
+  }
+};
+
+}  // namespace deltacolor

@@ -1,0 +1,120 @@
+#include "primitives/linial.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"  // next_prime
+
+namespace deltacolor {
+
+namespace detail {
+
+std::uint64_t linial_pow_sat(std::uint64_t q, int e) {
+  std::uint64_t r = 1;
+  for (int i = 0; i < e; ++i) {
+    if (r > ~std::uint64_t{0} / q) return ~std::uint64_t{0};
+    r *= q;
+  }
+  return r;
+}
+
+int linial_degree_for(std::uint64_t q, std::uint64_t max_val) {
+  int d = 0;
+  while (linial_pow_sat(q, d + 1) <= max_val) ++d;
+  return d;
+}
+
+std::pair<std::uint64_t, int> linial_choose_field(int delta,
+                                                  std::uint64_t max_val) {
+  for (int q = next_prime(std::max(2, delta + 2));; q = next_prime(q + 1)) {
+    const int d = linial_degree_for(static_cast<std::uint64_t>(q), max_val);
+    if (static_cast<std::uint64_t>(q) >
+        static_cast<std::uint64_t>(delta) * static_cast<std::uint64_t>(d))
+      return {static_cast<std::uint64_t>(q), d};
+  }
+}
+
+}  // namespace detail
+
+LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
+                             const std::string& phase) {
+  std::vector<std::uint64_t> initial(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) initial[v] = g.id(v);
+  return linial_reduce(
+      g.num_nodes(), g.max_degree(), initial,
+      [&g](NodeId v, auto&& fn) {
+        for (const NodeId u : g.neighbors(v)) fn(u);
+      },
+      ledger, phase);
+}
+
+LinialResult linial_edge_coloring(const Graph& g, RoundLedger& ledger,
+                                  const std::string& phase) {
+  const EdgeId m = g.num_edges();
+  LinialResult empty;
+  if (m == 0) {
+    empty.num_colors = 1;
+    return empty;
+  }
+
+  // Vertex coloring first (palette chi = O(Delta^2)).
+  RoundLedger vertex_ledger;
+  const LinialResult vertex = linial_coloring(g, vertex_ledger, phase);
+
+  // Compose a proper initial edge coloring: for edge (u, v) combine
+  // (c_u, port_u(v)) and (c_v, port_v(u)) as an unordered pair, where
+  // port_u(v) is v's index within u's adjacency list. Properness: two edges
+  // sharing endpoint u differ either in the other endpoint's vertex color
+  // or, if those collide, in u's ports; the unordered encoding cannot
+  // confuse sides because adjacent endpoints never share a vertex color.
+  const std::uint64_t port_space = static_cast<std::uint64_t>(
+      std::max(1, g.max_degree()));
+  const std::uint64_t half_space =
+      static_cast<std::uint64_t>(vertex.num_colors) * port_space;
+  std::vector<std::uint64_t> initial(m);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto inc = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (v < u) continue;  // handle each edge once, from its low endpoint
+      // Find u's port at v.
+      const auto vn = g.neighbors(v);
+      const std::size_t j = static_cast<std::size_t>(
+          std::lower_bound(vn.begin(), vn.end(), u) - vn.begin());
+      const std::uint64_t a =
+          static_cast<std::uint64_t>(vertex.color[u]) * port_space + i;
+      const std::uint64_t b =
+          static_cast<std::uint64_t>(vertex.color[v]) * port_space + j;
+      const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+      initial[inc[i]] = lo * half_space + hi;
+    }
+  }
+
+  const int line_degree = std::max(0, 2 * g.max_degree() - 2);
+  LinialResult res = linial_reduce(
+      m, line_degree, initial,
+      [&g](NodeId e, auto&& fn) {
+        const auto [u, v] = g.endpoints(static_cast<EdgeId>(e));
+        for (const EdgeId f : g.incident_edges(u))
+          if (f != e) fn(static_cast<NodeId>(f));
+        for (const EdgeId f : g.incident_edges(v))
+          if (f != e) fn(static_cast<NodeId>(f));
+      },
+      ledger, phase);
+  // Line-graph rounds dilate by 2 (endpoints sync edge state over the
+  // edge); the vertex coloring's own rounds are real rounds.
+  ledger.charge(phase, res.rounds);  // second charge realizes dilation 2
+  res.rounds = vertex.rounds + 2 * res.rounds;
+  ledger.charge(phase, vertex.rounds);
+  return res;
+}
+
+std::vector<std::vector<NodeId>> color_classes(const LinialResult& lin) {
+  std::vector<std::vector<NodeId>> classes(
+      static_cast<std::size_t>(std::max(lin.num_colors, 1)));
+  for (NodeId v = 0; v < lin.color.size(); ++v)
+    classes[static_cast<std::size_t>(lin.color[v])].push_back(v);
+  return classes;
+}
+
+}  // namespace deltacolor

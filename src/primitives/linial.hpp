@@ -1,0 +1,129 @@
+// Linial's O(log* n) color reduction [Lin92].
+//
+// From any proper k-coloring (initially the unique identifiers), one round
+// of communication reduces to a proper q^2-coloring, where q is the
+// smallest prime with q > Delta * d and q^(d+1) > k: each node interprets
+// its color as a polynomial of degree <= d over F_q and picks an evaluation
+// point on which it differs from every neighbor (at most d collisions per
+// neighbor, so Delta*d < q points are excluded). Iterating reaches the
+// fixed point q0^2, q0 ~ Delta, in O(log* k) rounds.
+//
+// The core reduction is generic over an *implicit* graph (node count +
+// neighbor enumeration callback), so it also runs on line graphs and other
+// virtual graphs without materializing them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/graph.hpp"
+#include "local/ledger.hpp"
+
+namespace deltacolor {
+
+struct LinialResult {
+  std::vector<Color> color;  ///< proper coloring, palette {0..num_colors-1}
+  int num_colors = 0;
+  int rounds = 0;
+};
+
+namespace detail {
+
+std::uint64_t linial_pow_sat(std::uint64_t q, int e);
+int linial_degree_for(std::uint64_t q, std::uint64_t max_val);
+/// Smallest prime q with q > delta * degree and q^(degree+1) > max_val.
+std::pair<std::uint64_t, int> linial_choose_field(int delta,
+                                                  std::uint64_t max_val);
+
+}  // namespace detail
+
+/// Generic reduction. `initial` must be a proper coloring of the implicit
+/// graph (pairwise distinct along every edge); `for_each_neighbor(v, fn)`
+/// calls fn(u) for every neighbor u of v (duplicates tolerated).
+template <typename ForEachNeighbor>
+LinialResult linial_reduce(NodeId n, int max_degree,
+                           const std::vector<std::uint64_t>& initial,
+                           ForEachNeighbor&& for_each_neighbor,
+                           RoundLedger& ledger, const std::string& phase) {
+  LinialResult res;
+  res.color.assign(n, 0);
+  if (n == 0) {
+    res.num_colors = 1;
+    return res;
+  }
+  DC_CHECK(initial.size() == n);
+
+  std::vector<std::uint64_t> cur = initial;
+  std::uint64_t max_val = 0;
+  for (NodeId v = 0; v < n; ++v) max_val = std::max(max_val, cur[v]);
+
+  std::vector<std::uint64_t> nxt(n);
+  std::vector<std::uint32_t> coeff;  // flat (d+1) coefficients per node
+  for (;;) {
+    const auto [q, d] = detail::linial_choose_field(max_degree, max_val);
+    if (q * q > max_val) break;  // fixed point: no further progress
+
+    // Decompose colors into base-q coefficient vectors (the "message"
+    // content each node publishes this round is its polynomial).
+    coeff.assign(static_cast<std::size_t>(n) * (d + 1), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint64_t c = cur[v];
+      for (int i = 0; i <= d; ++i) {
+        coeff[static_cast<std::size_t>(v) * (d + 1) + i] =
+            static_cast<std::uint32_t>(c % q);
+        c /= q;
+      }
+    }
+    auto eval = [&](NodeId v, std::uint64_t x) {
+      const std::uint32_t* a = &coeff[static_cast<std::size_t>(v) * (d + 1)];
+      std::uint64_t acc = 0;
+      for (int i = d; i >= 0; --i) acc = (acc * x + a[i]) % q;
+      return acc;
+    };
+    // Each node scans evaluation points until one separates it from every
+    // neighbor; guaranteed to exist since bad points number <= Delta * d < q.
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint64_t chosen = q;  // sentinel
+      for (std::uint64_t x = 0; x < q && chosen == q; ++x) {
+        const std::uint64_t mine = eval(v, x);
+        bool ok = true;
+        for_each_neighbor(v, [&](NodeId u) {
+          if (ok && u != v && eval(u, x) == mine) ok = false;
+        });
+        if (ok) chosen = x;
+      }
+      DC_CHECK_MSG(chosen < q, "Linial: no collision-free point at node "
+                                   << v << " (q=" << q << ")");
+      nxt[v] = chosen * q + eval(v, chosen);
+    }
+    cur.swap(nxt);
+    max_val = q * q - 1;
+    ++res.rounds;
+    DC_CHECK_MSG(res.rounds < 64, "Linial failed to converge");
+  }
+
+  res.num_colors = static_cast<int>(max_val + 1);
+  for (NodeId v = 0; v < n; ++v) res.color[v] = static_cast<Color>(cur[v]);
+  ledger.charge(phase, res.rounds);
+  return res;
+}
+
+/// O(Delta^2)-coloring of g in O(log* n) rounds from its LOCAL identifiers.
+LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
+                             const std::string& phase = "linial");
+
+/// Proper *edge* coloring of g with an O(Delta^2)-sized palette, indexed by
+/// EdgeId, computed without materializing the line graph: a vertex Linial
+/// coloring is composed with per-endpoint port numbers into a proper (huge-
+/// palette) edge coloring, which the generic reduction then shrinks. Costs
+/// O(log* n) rounds; each line-graph round dilates to 2 real rounds.
+LinialResult linial_edge_coloring(const Graph& g, RoundLedger& ledger,
+                                  const std::string& phase = "linial-edge");
+
+/// Buckets node indices by color class (helper for class-greedy sweeps:
+/// iterate classes in order, nodes of one class act simultaneously).
+std::vector<std::vector<NodeId>> color_classes(const LinialResult& lin);
+
+}  // namespace deltacolor

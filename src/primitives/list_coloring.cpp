@@ -1,0 +1,144 @@
+#include "primitives/list_coloring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/subgraph.hpp"
+#include "primitives/color_reduction.hpp"
+#include "primitives/linial.hpp"
+
+namespace deltacolor {
+
+namespace {
+
+// Colors of already-colored neighbors of v removed from v's list.
+std::vector<Color> effective_list(const Graph& g, NodeId v,
+                                  const std::vector<Color>& list,
+                                  const std::vector<Color>& color) {
+  std::vector<Color> taken;
+  taken.reserve(g.degree(v));
+  for (const NodeId u : g.neighbors(v))
+    if (color[u] != kNoColor) taken.push_back(color[u]);
+  std::sort(taken.begin(), taken.end());
+  std::vector<Color> eff;
+  eff.reserve(list.size());
+  for (const Color c : list)
+    if (!std::binary_search(taken.begin(), taken.end(), c)) eff.push_back(c);
+  return eff;
+}
+
+void check_precondition(const Graph& g, const std::vector<bool>& active,
+                        const std::vector<std::vector<Color>>& lists,
+                        const std::vector<Color>& color) {
+  DC_CHECK(active.size() == g.num_nodes());
+  DC_CHECK(lists.size() == g.num_nodes());
+  DC_CHECK(color.size() == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!active[v]) continue;
+    DC_CHECK_MSG(color[v] == kNoColor,
+                 "active node " << v << " is already colored");
+    int active_deg = 0;
+    for (const NodeId u : g.neighbors(v))
+      if (active[u]) ++active_deg;
+    const auto eff = effective_list(g, v, lists[v], color);
+    DC_CHECK_MSG(static_cast<int>(eff.size()) >= active_deg + 1,
+                 "deg+1 precondition violated at node "
+                     << v << ": effective list " << eff.size()
+                     << " <= active degree " << active_deg);
+  }
+}
+
+}  // namespace
+
+int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
+                            const std::vector<std::vector<Color>>& lists,
+                            std::vector<Color>& color, RoundLedger& ledger,
+                            const std::string& phase) {
+  check_precondition(g, active, lists, color);
+
+  std::vector<NodeId> active_nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (active[v]) active_nodes.push_back(v);
+  if (active_nodes.empty()) return 0;
+
+  // Symmetry breaking: Linial + Kuhn-Wattenhofer reduction on the
+  // active-induced subgraph gives a (deg_active+1)-class schedule in
+  // O(Delta log Delta + log* n) rounds; then one greedy round per class.
+  // Nodes of the same class are non-adjacent, so their simultaneous
+  // choices cannot conflict.
+  const Subgraph sub = induced_subgraph(g, active_nodes);
+  RoundLedger sub_ledger;
+  const LinialResult lin = schedule_coloring(sub.graph, sub_ledger, phase);
+
+  for (const auto& cls : color_classes(lin)) {
+    for (const NodeId i : cls) {
+      const NodeId v = sub.orig_of[i];
+      const auto eff = effective_list(g, v, lists[v], color);
+      DC_CHECK_MSG(!eff.empty(),
+                   "class-greedy ran out of colors at node " << v);
+      color[v] = eff.front();
+    }
+  }
+  const int rounds = lin.rounds + lin.num_colors;
+  // The schedule's own rounds were charged into sub_ledger; re-charge them
+  // to the caller's ledger together with the class sweep.
+  ledger.charge(phase, lin.rounds + lin.num_colors);
+  return rounds;
+}
+
+int deg_plus_one_list_color_randomized(
+    const Graph& g, const std::vector<bool>& active,
+    const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
+    std::uint64_t seed, RoundLedger& ledger, const std::string& phase) {
+  check_precondition(g, active, lists, color);
+  std::vector<bool> pending = active;
+  NodeId remaining = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (pending[v]) ++remaining;
+
+  int rounds = 0;
+  const int max_rounds = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
+  std::vector<Color> trial(g.num_nodes(), kNoColor);
+  while (remaining > 0) {
+    DC_CHECK_MSG(rounds < max_rounds,
+                 "randomized deg+1 did not converge; remaining=" << remaining);
+    // Trial phase: every pending node samples from its effective list.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      trial[v] = kNoColor;
+      if (!pending[v]) continue;
+      const auto eff = effective_list(g, v, lists[v], color);
+      DC_CHECK(!eff.empty());
+      trial[v] = eff[hash_mix(seed, v, static_cast<std::uint64_t>(rounds)) %
+                     eff.size()];
+    }
+    // Commit phase: keep the trial if no neighbor tried the same color.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (trial[v] == kNoColor) continue;
+      bool ok = true;
+      for (const NodeId u : g.neighbors(v)) {
+        if (trial[u] == trial[v]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        color[v] = trial[v];
+        pending[v] = false;
+        --remaining;
+      }
+    }
+    ++rounds;
+  }
+  ledger.charge(phase, rounds);
+  return rounds;
+}
+
+std::vector<std::vector<Color>> uniform_lists(const Graph& g,
+                                              int num_colors) {
+  std::vector<Color> palette(num_colors);
+  for (int c = 0; c < num_colors; ++c) palette[c] = c;
+  return std::vector<std::vector<Color>>(g.num_nodes(), palette);
+}
+
+}  // namespace deltacolor

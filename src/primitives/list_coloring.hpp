@@ -1,0 +1,43 @@
+// (deg+1)-list coloring [MT20-role; realized as class-greedy over a Linial
+// coloring, O(Delta^2 + log* n) rounds] plus a randomized color-trial
+// variant for comparison benches.
+//
+// Instance semantics (Section 2 of the paper): a set of *active* nodes must
+// be colored; every active node v must have an allowed list whose colors,
+// after removing the colors of already-colored neighbors, number at least
+// (number of active neighbors of v) + 1. Under this precondition the
+// class-greedy schedule always finds a free color.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/ledger.hpp"
+
+namespace deltacolor {
+
+/// Deterministically colors all nodes with active[v] == true. `color` holds
+/// the global partial coloring and is extended in place; `lists[v]` is the
+/// allowed palette of active node v (entries for inactive nodes ignored).
+/// The deg+1 precondition is checked (throws on violation). Returns the
+/// number of LOCAL rounds consumed (also charged to `ledger` under `phase`).
+int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
+                            const std::vector<std::vector<Color>>& lists,
+                            std::vector<Color>& color, RoundLedger& ledger,
+                            const std::string& phase = "deg+1-list");
+
+/// Randomized variant: active nodes repeatedly try a uniform color from
+/// their remaining list; a trial sticks if no neighbor tried or holds the
+/// same color. Terminates w.h.p. in O(log n) rounds under the same deg+1
+/// precondition.
+int deg_plus_one_list_color_randomized(
+    const Graph& g, const std::vector<bool>& active,
+    const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
+    std::uint64_t seed, RoundLedger& ledger,
+    const std::string& phase = "deg+1-list-rand");
+
+/// Builds the default (Delta+1)-coloring lists {0..Delta} for every node.
+std::vector<std::vector<Color>> uniform_lists(const Graph& g, int num_colors);
+
+}  // namespace deltacolor

@@ -1,0 +1,178 @@
+#include "primitives/maximal_matching.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/checker.hpp"
+#include "graph/subgraph.hpp"
+#include "primitives/color_reduction.hpp"
+#include "primitives/forest_coloring.hpp"
+#include "primitives/linial.hpp"
+
+namespace deltacolor {
+
+namespace {
+/// Real rounds per simulated line-graph round.
+constexpr int kLineGraphDilation = 2;
+}  // namespace
+
+std::vector<bool> maximal_matching_deterministic(const Graph& g,
+                                                 RoundLedger& ledger,
+                                                 const std::string& phase) {
+  std::vector<bool> in_matching(g.num_edges(), false);
+  if (g.num_edges() == 0) return in_matching;
+
+  // Proper edge coloring (implicit line graph) reduced to 2*Delta-1
+  // classes, then one virtual round per color class: an edge joins if both
+  // endpoints are still free. Edges of a class share no endpoint.
+  RoundLedger ec_ledger;
+  LinialResult ec = linial_edge_coloring(g, ec_ledger, phase);
+  {
+    const int line_degree = std::max(0, 2 * g.max_degree() - 2);
+    LinialResult reduced = kw_reduce(
+        g.num_edges(), line_degree, std::move(ec.color), ec.num_colors,
+        line_degree + 1,
+        [&g](NodeId e, auto&& fn) {
+          const auto [u, v] = g.endpoints(static_cast<EdgeId>(e));
+          for (const EdgeId f : g.incident_edges(u))
+            if (f != e) fn(static_cast<NodeId>(f));
+          for (const EdgeId f : g.incident_edges(v))
+            if (f != e) fn(static_cast<NodeId>(f));
+        },
+        ec_ledger, phase);
+    reduced.rounds = ec.rounds + 2 * reduced.rounds;  // line-graph dilation
+    ec = std::move(reduced);
+  }
+
+  std::vector<bool> matched(g.num_nodes(), false);
+  for (const auto& cls : color_classes(ec)) {
+    for (const NodeId en : cls) {
+      const EdgeId e = static_cast<EdgeId>(en);
+      const auto [u, v] = g.endpoints(e);
+      if (matched[u] || matched[v]) continue;
+      in_matching[e] = true;
+      matched[u] = matched[v] = true;
+    }
+  }
+  ledger.charge(phase, ec.rounds);  // edge-coloring rounds (dilation inside)
+  ledger.charge(phase, ec.num_colors, kLineGraphDilation);
+  return in_matching;
+}
+
+std::vector<bool> maximal_matching_pr(const Graph& g, RoundLedger& ledger,
+                                      const std::string& phase) {
+  std::vector<bool> in_matching(g.num_edges(), false);
+  if (g.num_edges() == 0) return in_matching;
+  const int delta = g.max_degree();
+
+  // Forest decomposition: v's i-th higher-identifier neighbor is its
+  // parent in forest i. Identifiers strictly increase along parent edges,
+  // so every forest is acyclic.
+  std::vector<std::vector<NodeId>> parent_in(
+      static_cast<std::size_t>(delta),
+      std::vector<NodeId>(g.num_nodes(), kNoNode));
+  std::vector<std::vector<EdgeId>> parent_edge(
+      static_cast<std::size_t>(delta),
+      std::vector<EdgeId>(g.num_nodes(), kNoEdge));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    int i = 0;
+    const auto nbrs = g.neighbors(v);
+    const auto inc = g.incident_edges(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (g.id(nbrs[k]) < g.id(v)) continue;
+      parent_in[static_cast<std::size_t>(i)][v] = nbrs[k];
+      parent_edge[static_cast<std::size_t>(i)][v] = inc[k];
+      ++i;
+    }
+  }
+
+  // 3-color every forest; all reductions run in parallel, so the round
+  // cost is a single O(log* n) term (charged as the max).
+  std::vector<std::uint64_t> ids(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ids[v] = g.id(v);
+  std::vector<std::vector<Color>> forest_color(
+      static_cast<std::size_t>(delta));
+  int coloring_rounds = 0;
+  for (int f = 0; f < delta; ++f) {
+    RoundLedger forest_ledger;
+    const ForestColoringResult fc = forest_3_coloring(
+        parent_in[static_cast<std::size_t>(f)], ids, forest_ledger, phase);
+    forest_color[static_cast<std::size_t>(f)] = fc.color;
+    coloring_rounds = std::max(coloring_rounds, fc.rounds);
+  }
+  ledger.charge(phase, 1 + coloring_rounds);  // orientation + parallel CV
+
+  // Sequential forests, three proposal rounds each: free class-c nodes
+  // propose to their (free) forest parent; a parent accepts its smallest-
+  // identifier proposer.
+  std::vector<bool> matched(g.num_nodes(), false);
+  std::vector<NodeId> accepted(g.num_nodes(), kNoNode);
+  for (int f = 0; f < delta; ++f) {
+    for (Color cls = 0; cls < 3; ++cls) {
+      std::fill(accepted.begin(), accepted.end(), kNoNode);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (matched[v] || forest_color[static_cast<std::size_t>(f)][v] != cls)
+          continue;
+        const NodeId p = parent_in[static_cast<std::size_t>(f)][v];
+        if (p == kNoNode || matched[p]) continue;
+        if (accepted[p] == kNoNode || g.id(v) < g.id(accepted[p]))
+          accepted[p] = v;
+      }
+      for (NodeId p = 0; p < g.num_nodes(); ++p) {
+        const NodeId v = accepted[p];
+        if (v == kNoNode) continue;
+        in_matching[parent_edge[static_cast<std::size_t>(f)][v]] = true;
+        matched[v] = matched[p] = true;
+      }
+    }
+  }
+  ledger.charge(phase, 2 * 3 * delta);  // propose + accept per class
+  DC_DCHECK(is_matching(g, in_matching));
+  return in_matching;
+}
+
+std::vector<bool> maximal_matching_randomized(const Graph& g,
+                                              std::uint64_t seed,
+                                              RoundLedger& ledger,
+                                              const std::string& phase) {
+  std::vector<bool> in_matching(g.num_edges(), false);
+  std::vector<bool> matched(g.num_nodes(), false);
+  int rounds = 0;
+  const int max_rounds = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
+  for (;;) {
+    // Any free edge left?
+    bool any_free = false;
+    for (EdgeId e = 0; e < g.num_edges() && !any_free; ++e) {
+      const auto [u, v] = g.endpoints(e);
+      any_free = !matched[u] && !matched[v];
+    }
+    if (!any_free) break;
+    DC_CHECK_MSG(rounds < max_rounds, "randomized matching did not converge");
+
+    // Proposal: every free node points at one free neighbor chosen at
+    // random; an edge whose two endpoints point at each other joins.
+    std::vector<NodeId> proposal(g.num_nodes(), kNoNode);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (matched[v]) continue;
+      std::vector<NodeId> free_nbrs;
+      for (const NodeId u : g.neighbors(v))
+        if (!matched[u]) free_nbrs.push_back(u);
+      if (free_nbrs.empty()) continue;
+      proposal[v] =
+          free_nbrs[hash_mix(seed, g.id(v),
+                             static_cast<std::uint64_t>(rounds)) %
+                    free_nbrs.size()];
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto [u, v] = g.endpoints(e);
+      if (proposal[u] == v && proposal[v] == u) {
+        in_matching[e] = true;
+        matched[u] = matched[v] = true;
+      }
+    }
+    rounds += 2;  // propose + accept
+  }
+  ledger.charge(phase, rounds);
+  return in_matching;
+}
+
+}  // namespace deltacolor

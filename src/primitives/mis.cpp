@@ -1,0 +1,88 @@
+#include "primitives/mis.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "primitives/color_reduction.hpp"
+#include "primitives/linial.hpp"
+
+namespace deltacolor {
+
+std::vector<bool> mis_deterministic(const Graph& g, RoundLedger& ledger,
+                                    const std::string& phase) {
+  const LinialResult lin = schedule_coloring(g, ledger, phase);
+  std::vector<bool> in_set(g.num_nodes(), false);
+  // One round per color class: a node joins unless a neighbor already did.
+  // Same-class nodes are non-adjacent, so simultaneous joins are safe.
+  for (const auto& cls : color_classes(lin)) {
+    for (const NodeId v : cls) {
+      bool blocked = false;
+      for (const NodeId u : g.neighbors(v)) {
+        if (in_set[u]) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) in_set[v] = true;
+    }
+  }
+  ledger.charge(phase, lin.num_colors);
+  return in_set;
+}
+
+std::vector<bool> mis_luby(const Graph& g, std::uint64_t seed,
+                           RoundLedger& ledger, const std::string& phase) {
+  const NodeId n = g.num_nodes();
+  std::vector<bool> in_set(n, false);
+  std::vector<bool> decided(n, false);
+  NodeId remaining = n;
+  int rounds = 0;
+  const int max_rounds = 64 * (32 - __builtin_clz(n + 2));
+  std::vector<std::uint64_t> draw(n);
+  while (remaining > 0) {
+    DC_CHECK_MSG(rounds < max_rounds, "Luby MIS did not converge");
+    for (NodeId v = 0; v < n; ++v)
+      draw[v] = decided[v]
+                    ? 0
+                    : hash_mix(seed, g.id(v),
+                               static_cast<std::uint64_t>(rounds)) |
+                          1;  // nonzero
+    // Join if strict local maximum among undecided closed neighborhood
+    // (ties broken by identifier, folded into the hash's uniqueness via id).
+    std::vector<bool> join(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v]) continue;
+      bool is_max = true;
+      for (const NodeId u : g.neighbors(v)) {
+        if (decided[u]) continue;
+        if (draw[u] > draw[v] ||
+            (draw[u] == draw[v] && g.id(u) > g.id(v))) {
+          is_max = false;
+          break;
+        }
+      }
+      join[v] = is_max;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (!join[v]) continue;
+      in_set[v] = true;
+      decided[v] = true;
+      --remaining;
+    }
+    // Neighbors of fresh members drop out.
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v]) continue;
+      for (const NodeId u : g.neighbors(v)) {
+        if (join[u]) {
+          decided[v] = true;
+          --remaining;
+          break;
+        }
+      }
+    }
+    ++rounds;
+  }
+  ledger.charge(phase, rounds);
+  return in_set;
+}
+
+}  // namespace deltacolor

@@ -1,0 +1,21 @@
+// Maximal independent set: deterministic class-greedy over a Linial
+// coloring (O(Delta^2 + log* n) rounds) and Luby's randomized algorithm
+// (O(log n) rounds w.h.p.) [Gha16-role].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/ledger.hpp"
+
+namespace deltacolor {
+
+std::vector<bool> mis_deterministic(const Graph& g, RoundLedger& ledger,
+                                    const std::string& phase = "mis");
+
+std::vector<bool> mis_luby(const Graph& g, std::uint64_t seed,
+                           RoundLedger& ledger,
+                           const std::string& phase = "mis-luby");
+
+}  // namespace deltacolor

@@ -1,0 +1,133 @@
+// Tests for Algorithm 3's building blocks: the constructive Lemma 7
+// even-cycle list colorer and the loophole brute-force completion.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/easy_coloring.hpp"
+#include "graph/checker.hpp"
+#include "graph/generators.hpp"
+
+namespace deltacolor {
+namespace {
+
+bool cycle_coloring_ok(const std::vector<std::vector<Color>>& lists,
+                       const std::vector<Color>& out) {
+  const std::size_t k = lists.size();
+  if (out.size() != k) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (out[i] == kNoColor) return false;
+    if (std::find(lists[i].begin(), lists[i].end(), out[i]) ==
+        lists[i].end())
+      return false;
+    if (out[i] == out[(i + 1) % k]) return false;
+  }
+  return true;
+}
+
+TEST(EvenCycleLists, IdenticalTightListsAlternate) {
+  for (const std::size_t k : {4u, 6u, 8u}) {
+    std::vector<std::vector<Color>> lists(k, {5, 9});
+    std::vector<Color> out;
+    ASSERT_TRUE(color_even_cycle_from_lists(lists, out)) << "k=" << k;
+    EXPECT_TRUE(cycle_coloring_ok(lists, out));
+  }
+}
+
+TEST(EvenCycleLists, OddCycleIdenticalTightListsInfeasible) {
+  std::vector<std::vector<Color>> lists(5, {1, 2});
+  std::vector<Color> out;
+  EXPECT_FALSE(color_even_cycle_from_lists(lists, out));
+}
+
+TEST(EvenCycleLists, OddCycleWithOneSpareColorFeasible) {
+  std::vector<std::vector<Color>> lists(5, {1, 2});
+  lists[3] = {1, 2, 3};
+  std::vector<Color> out;
+  ASSERT_TRUE(color_even_cycle_from_lists(lists, out));
+  EXPECT_TRUE(cycle_coloring_ok(lists, out));
+}
+
+TEST(EvenCycleLists, DifferingTightLists) {
+  std::vector<std::vector<Color>> lists = {{1, 2}, {2, 3}, {3, 4},
+                                           {4, 5}, {5, 6}, {6, 1}};
+  std::vector<Color> out;
+  ASSERT_TRUE(color_even_cycle_from_lists(lists, out));
+  EXPECT_TRUE(cycle_coloring_ok(lists, out));
+}
+
+TEST(EvenCycleLists, RandomizedSweep) {
+  // Random lists of size >= 2 on even cycles always admit a coloring;
+  // exhaustively verified by the checker.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 4 + 2 * rng.below(3);  // 4, 6, 8
+    std::vector<std::vector<Color>> lists(k);
+    for (auto& list : lists) {
+      const int size = 2 + static_cast<int>(rng.below(3));
+      while (static_cast<int>(list.size()) < size) {
+        const Color c = static_cast<Color>(rng.below(6));
+        if (std::find(list.begin(), list.end(), c) == list.end())
+          list.push_back(c);
+      }
+    }
+    std::vector<Color> out;
+    ASSERT_TRUE(color_even_cycle_from_lists(lists, out)) << "trial " << trial;
+    EXPECT_TRUE(cycle_coloring_ok(lists, out)) << "trial " << trial;
+  }
+}
+
+TEST(EvenCycleLists, RejectsDegenerate) {
+  std::vector<Color> out;
+  EXPECT_FALSE(color_even_cycle_from_lists({{1, 2}, {1, 2}}, out));  // k<3
+  EXPECT_FALSE(color_even_cycle_from_lists({{1}, {1, 2}, {2, 3}, {3, 1}},
+                                           out));  // undersized list
+}
+
+TEST(ColorLoophole, DegreeLoopholeTakesAnyFreeColor) {
+  Graph g = star_graph(4);  // Delta = 4; leaves have degree 1
+  std::vector<Color> color(g.num_nodes(), kNoColor);
+  color[0] = 2;  // center
+  color_loophole(g, Loophole{{1}}, color);
+  EXPECT_NE(color[1], kNoColor);
+  EXPECT_NE(color[1], 2);
+}
+
+TEST(ColorLoophole, FourCycleWithColoredSurroundings) {
+  // C4 inside a larger graph whose outside neighbors are pre-colored so
+  // each cycle vertex keeps exactly 2 free colors: the tight Lemma 7 case.
+  // Build: 4-cycle 0-1-2-3 plus a distinct pendant per cycle vertex.
+  Graph g(8, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 4}, {1, 5}, {2, 6},
+              {3, 7}});
+  // Delta = 3, palette {0,1,2}; pendants colored to shrink lists to 2.
+  std::vector<Color> color(8, kNoColor);
+  color[4] = 0;
+  color[5] = 0;
+  color[6] = 0;
+  color[7] = 0;
+  color_loophole(g, Loophole{{0, 1, 2, 3}}, color);
+  EXPECT_TRUE(is_proper_coloring(g, color, 3));
+}
+
+TEST(ColorLoophole, ChordedLoopholeFallsBackToSearch) {
+  // 4-cycle with one chord (non-clique): 0-1-2-3 + chord 0-2.
+  Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}, {0, 4}, {2, 5}});
+  std::vector<Color> color(g.num_nodes(), kNoColor);
+  color[4] = 0;
+  color[5] = 1;
+  Loophole l{{0, 1, 2, 3}};
+  ASSERT_TRUE(is_valid_loophole(g, l));
+  color_loophole(g, l, color);
+  for (const NodeId v : l.vertices) EXPECT_NE(color[v], kNoColor);
+  EXPECT_TRUE(check_coloring(g, color).proper);
+}
+
+TEST(ColorLoophole, ThrowsOnPreColoredVertex) {
+  Graph g = cycle_graph(4);
+  std::vector<Color> color(4, kNoColor);
+  color[1] = 0;
+  EXPECT_THROW(color_loophole(g, Loophole{{0, 1, 2, 3}}, color),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace deltacolor

@@ -1,0 +1,258 @@
+// Tests for the distributed primitives: Linial coloring, deg+1 list
+// coloring, MIS, maximal matching, and ruling sets — validity on a spread
+// of graph families plus round-complexity sanity (log* shape).
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "graph/checker.hpp"
+#include "graph/generators.hpp"
+#include "local/ledger.hpp"
+#include "primitives/linial.hpp"
+#include "primitives/list_coloring.hpp"
+#include "primitives/maximal_matching.hpp"
+#include "primitives/mis.hpp"
+#include "primitives/ruling_set.hpp"
+
+namespace deltacolor {
+namespace {
+
+std::vector<Graph> test_graphs() {
+  std::vector<Graph> gs;
+  gs.push_back(path_graph(40));
+  gs.push_back(cycle_graph(41));
+  gs.push_back(complete_graph(9));
+  gs.push_back(torus_grid(6, 7));
+  gs.push_back(random_tree(120, 5));
+  gs.push_back(random_graph(80, 0.1, 6));
+  gs.push_back(random_regular(60, 4, 7));
+  {
+    CliqueInstanceOptions opt;
+    opt.num_cliques = 12;
+    opt.delta = 8;
+    opt.clique_size = 8;
+    gs.push_back(clique_blowup_instance(opt).graph);
+  }
+  return gs;
+}
+
+// --- Linial -------------------------------------------------------------------
+
+TEST(Linial, ProperColoringOnFamilies) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    const LinialResult res = linial_coloring(g, ledger);
+    ASSERT_EQ(res.color.size(), g.num_nodes());
+    EXPECT_TRUE(is_proper_coloring(g, res.color, res.num_colors))
+        << "n=" << g.num_nodes() << " delta=" << g.max_degree();
+    EXPECT_EQ(ledger.total(), res.rounds);
+  }
+}
+
+TEST(Linial, PaletteIsDeltaSquaredish) {
+  Graph g = random_regular(512, 6, 3);
+  g.set_ids(shuffled_ids(512, 11));
+  RoundLedger ledger;
+  const LinialResult res = linial_coloring(g, ledger);
+  // Fixed point is q^2 for the smallest valid prime q > Delta + 1.
+  EXPECT_LE(res.num_colors, 4 * (6 + 4) * (6 + 4));
+}
+
+TEST(Linial, RoundsGrowLikeLogStar) {
+  // log*-shaped: rounds should stay tiny even as n grows by 64x.
+  for (const NodeId n : {256u, 4096u, 16384u}) {
+    Graph g = random_regular(n, 4, n);
+    g.set_ids(shuffled_ids(n, n + 1));
+    RoundLedger ledger;
+    const LinialResult res = linial_coloring(g, ledger);
+    EXPECT_TRUE(is_proper_coloring(g, res.color, res.num_colors));
+    EXPECT_LE(res.rounds, 8);
+  }
+}
+
+TEST(Linial, AdversarialIdsStillProper) {
+  Graph g = cycle_graph(64);
+  std::vector<std::uint64_t> ids(64);
+  for (NodeId v = 0; v < 64; ++v) ids[v] = (v % 2 == 0) ? v : (1ull << 40) + v;
+  g.set_ids(ids);
+  RoundLedger ledger;
+  const LinialResult res = linial_coloring(g, ledger);
+  EXPECT_TRUE(is_proper_coloring(g, res.color, res.num_colors));
+}
+
+TEST(Linial, EmptyAndSingleton) {
+  RoundLedger ledger;
+  Graph g0(0, {});
+  EXPECT_EQ(linial_coloring(g0, ledger).num_colors, 1);
+  Graph g1(1, {});
+  const auto r1 = linial_coloring(g1, ledger);
+  EXPECT_TRUE(is_proper_coloring(g1, r1.color, r1.num_colors));
+}
+
+// --- deg+1 list coloring --------------------------------------------------------
+
+TEST(DegPlusOne, DeltaPlusOneColoringEverywhere) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    std::vector<Color> color(g.num_nodes(), kNoColor);
+    std::vector<bool> active(g.num_nodes(), true);
+    const auto lists = uniform_lists(g, g.max_degree() + 1);
+    deg_plus_one_list_color(g, active, lists, color, ledger);
+    EXPECT_TRUE(is_proper_coloring(g, color, g.max_degree() + 1));
+  }
+}
+
+TEST(DegPlusOne, RespectsArbitraryLists) {
+  Graph g = cycle_graph(10);
+  std::vector<std::vector<Color>> lists(10);
+  for (NodeId v = 0; v < 10; ++v)
+    lists[v] = {static_cast<Color>(100 + v % 3), static_cast<Color>(7),
+                static_cast<Color>(200 + v % 4)};
+  RoundLedger ledger;
+  std::vector<Color> color(10, kNoColor);
+  std::vector<bool> active(10, true);
+  deg_plus_one_list_color(g, active, lists, color, ledger);
+  EXPECT_TRUE(respects_lists(g, color, lists));
+}
+
+TEST(DegPlusOne, PartialInstanceExtendsColoring) {
+  Graph g = complete_graph(6);  // Delta = 5
+  std::vector<Color> color(6, kNoColor);
+  color[0] = 3;
+  color[1] = 1;
+  std::vector<bool> active = {false, false, true, true, true, true};
+  const auto lists = uniform_lists(g, 6);
+  RoundLedger ledger;
+  deg_plus_one_list_color(g, active, lists, color, ledger);
+  EXPECT_TRUE(is_proper_coloring(g, color, 6));
+  EXPECT_EQ(color[0], 3);  // pre-colored nodes untouched
+  EXPECT_EQ(color[1], 1);
+}
+
+TEST(DegPlusOne, PreconditionViolationThrows) {
+  Graph g = complete_graph(4);
+  std::vector<Color> color(4, kNoColor);
+  std::vector<bool> active(4, true);
+  const auto lists = uniform_lists(g, 3);  // needs >= 4 colors
+  RoundLedger ledger;
+  EXPECT_THROW(deg_plus_one_list_color(g, active, lists, color, ledger),
+               std::logic_error);
+}
+
+TEST(DegPlusOne, ActiveNodeAlreadyColoredThrows) {
+  Graph g = path_graph(3);
+  std::vector<Color> color = {0, kNoColor, kNoColor};
+  std::vector<bool> active(3, true);
+  RoundLedger ledger;
+  EXPECT_THROW(
+      deg_plus_one_list_color(g, active, uniform_lists(g, 3), color, ledger),
+      std::logic_error);
+}
+
+TEST(DegPlusOne, RandomizedVariantMatchesGuarantees) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    std::vector<Color> color(g.num_nodes(), kNoColor);
+    std::vector<bool> active(g.num_nodes(), true);
+    const auto lists = uniform_lists(g, g.max_degree() + 1);
+    deg_plus_one_list_color_randomized(g, active, lists, color, 99, ledger);
+    EXPECT_TRUE(is_proper_coloring(g, color, g.max_degree() + 1));
+  }
+}
+
+TEST(DegPlusOne, EmptyActiveSetIsNoop) {
+  Graph g = path_graph(5);
+  std::vector<Color> color(5, kNoColor);
+  std::vector<bool> active(5, false);
+  RoundLedger ledger;
+  EXPECT_EQ(deg_plus_one_list_color(g, active, uniform_lists(g, 3), color,
+                                    ledger),
+            0);
+  EXPECT_EQ(ledger.total(), 0);
+}
+
+// --- MIS ------------------------------------------------------------------------
+
+TEST(Mis, DeterministicIsMaximalIndependent) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    const auto set = mis_deterministic(g, ledger);
+    EXPECT_TRUE(is_maximal_independent_set(g, set));
+    EXPECT_GT(ledger.total(), 0);
+  }
+}
+
+TEST(Mis, LubyIsMaximalIndependent) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    const auto set = mis_luby(g, 31337, ledger);
+    EXPECT_TRUE(is_maximal_independent_set(g, set));
+  }
+}
+
+TEST(Mis, LubyRoundsLogarithmic) {
+  RoundLedger small_ledger, big_ledger;
+  mis_luby(random_regular(128, 4, 1), 7, small_ledger);
+  mis_luby(random_regular(8192, 4, 2), 7, big_ledger);
+  EXPECT_LE(big_ledger.total(), 8 * std::max<std::int64_t>(
+                                        1, small_ledger.total()));
+}
+
+// --- maximal matching -------------------------------------------------------------
+
+TEST(Matching, DeterministicIsMaximal) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    const auto m = maximal_matching_deterministic(g, ledger);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(Matching, RandomizedIsMaximal) {
+  for (const Graph& g : test_graphs()) {
+    RoundLedger ledger;
+    const auto m = maximal_matching_randomized(g, 4242, ledger);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(Matching, EdgelessGraph) {
+  Graph g(7, {});
+  RoundLedger ledger;
+  const auto m = maximal_matching_deterministic(g, ledger);
+  EXPECT_TRUE(m.empty());
+}
+
+// --- ruling sets -------------------------------------------------------------------
+
+TEST(RulingSet, IndependenceAndDomination) {
+  for (const Graph& g : test_graphs()) {
+    if (g.num_nodes() == 0) continue;
+    RoundLedger ledger;
+    const RulingSetResult rs = ruling_set(g, ledger);
+    EXPECT_TRUE(is_independent_set(g, rs.in_set));
+    EXPECT_TRUE(dominates_within(g, rs.in_set, rs.domination_radius))
+        << "claimed radius " << rs.domination_radius;
+  }
+}
+
+TEST(RulingSet, NonEmptyOnNonEmptyGraph) {
+  Graph g = cycle_graph(30);
+  RoundLedger ledger;
+  const RulingSetResult rs = ruling_set(g, ledger);
+  int members = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (rs.in_set[v]) ++members;
+  EXPECT_GE(members, 1);
+}
+
+TEST(RulingSet, DominationRadiusIsLogDeltaShaped) {
+  // The radius bound depends on the Linial palette (O(log Delta) bits),
+  // not on n.
+  RoundLedger ledger;
+  const auto r1 = ruling_set(random_regular(256, 4, 3), ledger);
+  const auto r2 = ruling_set(random_regular(4096, 4, 4), ledger);
+  EXPECT_EQ(r1.domination_radius, r2.domination_radius);
+}
+
+}  // namespace
+}  // namespace deltacolor

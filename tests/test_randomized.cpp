@@ -1,0 +1,123 @@
+// End-to-end tests for the randomized Delta-coloring algorithm
+// (Theorem 2 / Algorithm 4): validity across instance families and seeds,
+// shattering behavior, and the reserved-color mechanics.
+#include <gtest/gtest.h>
+
+#include "graph/checker.hpp"
+#include "graph/generators.hpp"
+#include "randomized/randomized_coloring.hpp"
+
+namespace deltacolor {
+namespace {
+
+CliqueInstance blowup(int cliques, int delta, int s, double easy,
+                      std::uint64_t seed) {
+  CliqueInstanceOptions opt;
+  opt.num_cliques = cliques;
+  opt.delta = delta;
+  opt.clique_size = s;
+  opt.easy_fraction = easy;
+  opt.seed = seed;
+  return clique_blowup_instance(opt);
+}
+
+struct RCase {
+  int cliques, delta;
+  double easy;
+  std::uint64_t graph_seed, algo_seed;
+};
+
+class RandomizedEndToEnd : public ::testing::TestWithParam<RCase> {};
+
+TEST_P(RandomizedEndToEnd, ProducesValidDeltaColoring) {
+  const RCase c = GetParam();
+  const CliqueInstance inst =
+      blowup(c.cliques, c.delta, c.delta, c.easy, c.graph_seed);
+  const auto res = randomized_delta_color(
+      inst.graph, scaled_randomized_options(c.delta, c.algo_seed));
+  EXPECT_TRUE(res.dense);
+  EXPECT_TRUE(res.valid);
+  EXPECT_TRUE(is_delta_coloring(inst.graph, res.color));
+  EXPECT_EQ(res.stats.tnodes_placed + res.stats.failed_cliques,
+            res.stats.num_hard);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DenseInstances, RandomizedEndToEnd,
+    ::testing::Values(RCase{16, 16, 0.0, 1, 10}, RCase{16, 16, 0.0, 1, 11},
+                      RCase{16, 16, 0.0, 2, 12}, RCase{24, 12, 0.0, 3, 13},
+                      RCase{16, 16, 0.3, 4, 14}, RCase{16, 16, 1.0, 5, 15},
+                      RCase{32, 16, 0.1, 6, 16}, RCase{12, 32, 0.0, 7, 17}));
+
+TEST(Randomized, ShatteringLeavesOnlySmallComponents) {
+  const CliqueInstance inst = blowup(48, 16, 16, 0.0, 21);
+  const auto res =
+      randomized_delta_color(inst.graph, scaled_randomized_options(16, 5));
+  ASSERT_TRUE(res.valid);
+  // A clique whose members host another T-node's pair vertex legitimately
+  // fails to place its own (all its members neighbor a color-0 vertex),
+  // but the coverage layers around nearby slack vertices absorb it: the
+  // uncovered remainder must be a small fraction of the graph.
+  EXPECT_GT(res.stats.tnodes_placed, res.stats.num_hard / 4);
+  EXPECT_LT(res.stats.max_component_vertices,
+            static_cast<int>(inst.graph.num_nodes()) / 4 + 1);
+}
+
+TEST(Randomized, PairColorIsReservedColorZero) {
+  const CliqueInstance inst = blowup(24, 16, 16, 0.0, 31);
+  const auto res =
+      randomized_delta_color(inst.graph, scaled_randomized_options(16, 7));
+  ASSERT_TRUE(res.valid);
+  // Count color-0 vertices: at least two per placed T-node.
+  int zero = 0;
+  for (const Color c : res.color) zero += c == 0 ? 1 : 0;
+  EXPECT_GE(zero, 2 * res.stats.tnodes_placed);
+}
+
+TEST(Randomized, DifferentSeedsDifferentColoringsBothValid) {
+  const CliqueInstance inst = blowup(16, 16, 16, 0.2, 41);
+  const auto r1 =
+      randomized_delta_color(inst.graph, scaled_randomized_options(16, 1));
+  const auto r2 =
+      randomized_delta_color(inst.graph, scaled_randomized_options(16, 2));
+  ASSERT_TRUE(r1.valid && r2.valid);
+  EXPECT_NE(r1.color, r2.color);  // overwhelmingly likely
+}
+
+TEST(Randomized, SparseGraphRejected) {
+  Graph g = random_regular(64, 6, 3);
+  EXPECT_THROW(randomized_delta_color(g), std::logic_error);
+}
+
+TEST(Randomized, RoundsSublinearInN) {
+  const CliqueInstance small = blowup(16, 16, 16, 0.0, 51);
+  const CliqueInstance large = blowup(64, 16, 16, 0.0, 51);
+  const auto rs =
+      randomized_delta_color(small.graph, scaled_randomized_options(16, 3));
+  const auto rl =
+      randomized_delta_color(large.graph, scaled_randomized_options(16, 3));
+  ASSERT_TRUE(rs.valid && rl.valid);
+  EXPECT_LT(rl.ledger.total(), 3 * rs.ledger.total());
+}
+
+TEST(Randomized, PaperExactParametersAtDelta63) {
+  // Full Algorithm 4 at the paper's epsilon = 1/63 (no scaling), the
+  // smallest Delta the constants admit.
+  const CliqueInstance inst = blowup(8, 63, 63, 0.0, 2);
+  RandomizedOptions opt;  // defaults: epsilon = 1/63
+  opt.seed = 5;
+  const auto res = randomized_delta_color(inst.graph, opt);
+  EXPECT_TRUE(res.dense);
+  EXPECT_TRUE(res.valid);
+  EXPECT_GT(res.stats.tnodes_placed, 0);
+}
+
+TEST(Randomized, Fhm23GuardNeverFiresAtSimulationScale) {
+  const CliqueInstance inst = blowup(12, 16, 16, 0.0, 61);
+  const auto res =
+      randomized_delta_color(inst.graph, scaled_randomized_options(16, 9));
+  EXPECT_FALSE(res.stats.fhm23_branch);
+}
+
+}  // namespace
+}  // namespace deltacolor
