@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_subroutines.dir/bench_e11_subroutines.cpp.o"
+  "CMakeFiles/bench_e11_subroutines.dir/bench_e11_subroutines.cpp.o.d"
+  "bench_e11_subroutines"
+  "bench_e11_subroutines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_subroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_matching_balance.dir/bench_e4_matching_balance.cpp.o"
+  "CMakeFiles/bench_e4_matching_balance.dir/bench_e4_matching_balance.cpp.o.d"
+  "bench_e4_matching_balance"
+  "bench_e4_matching_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_matching_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

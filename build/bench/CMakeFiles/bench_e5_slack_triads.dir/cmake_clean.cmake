@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_slack_triads.dir/bench_e5_slack_triads.cpp.o"
+  "CMakeFiles/bench_e5_slack_triads.dir/bench_e5_slack_triads.cpp.o.d"
+  "bench_e5_slack_triads"
+  "bench_e5_slack_triads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_slack_triads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_heg_rounds.dir/bench_e8_heg_rounds.cpp.o"
+  "CMakeFiles/bench_e8_heg_rounds.dir/bench_e8_heg_rounds.cpp.o.d"
+  "bench_e8_heg_rounds"
+  "bench_e8_heg_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_heg_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

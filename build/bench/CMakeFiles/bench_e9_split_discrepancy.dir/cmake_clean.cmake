@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_split_discrepancy.dir/bench_e9_split_discrepancy.cpp.o"
+  "CMakeFiles/bench_e9_split_discrepancy.dir/bench_e9_split_discrepancy.cpp.o.d"
+  "bench_e9_split_discrepancy"
+  "bench_e9_split_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_split_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_inspector.dir/triad_inspector.cpp.o"
+  "CMakeFiles/triad_inspector.dir/triad_inspector.cpp.o.d"
+  "triad_inspector"
+  "triad_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

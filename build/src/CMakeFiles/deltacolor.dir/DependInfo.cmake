@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acd/acd.cpp" "src/CMakeFiles/deltacolor.dir/acd/acd.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/acd/acd.cpp.o.d"
+  "/root/repo/src/baselines/baselines.cpp" "src/CMakeFiles/deltacolor.dir/baselines/baselines.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/baselines/baselines.cpp.o.d"
+  "/root/repo/src/baselines/brooks.cpp" "src/CMakeFiles/deltacolor.dir/baselines/brooks.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/baselines/brooks.cpp.o.d"
+  "/root/repo/src/bench_support/workloads.cpp" "src/CMakeFiles/deltacolor.dir/bench_support/workloads.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/bench_support/workloads.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/deltacolor.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/delta_coloring.cpp" "src/CMakeFiles/deltacolor.dir/core/delta_coloring.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/core/delta_coloring.cpp.o.d"
+  "/root/repo/src/core/easy_coloring.cpp" "src/CMakeFiles/deltacolor.dir/core/easy_coloring.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/core/easy_coloring.cpp.o.d"
+  "/root/repo/src/core/hard_coloring.cpp" "src/CMakeFiles/deltacolor.dir/core/hard_coloring.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/core/hard_coloring.cpp.o.d"
+  "/root/repo/src/core/hardness.cpp" "src/CMakeFiles/deltacolor.dir/core/hardness.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/core/hardness.cpp.o.d"
+  "/root/repo/src/core/loopholes.cpp" "src/CMakeFiles/deltacolor.dir/core/loopholes.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/core/loopholes.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/deltacolor.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/core/trace.cpp.o.d"
+  "/root/repo/src/graph/checker.cpp" "src/CMakeFiles/deltacolor.dir/graph/checker.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/graph/checker.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/deltacolor.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/deltacolor.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/deltacolor.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/deltacolor.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/local/ledger.cpp" "src/CMakeFiles/deltacolor.dir/local/ledger.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/local/ledger.cpp.o.d"
+  "/root/repo/src/local/message_passing.cpp" "src/CMakeFiles/deltacolor.dir/local/message_passing.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/local/message_passing.cpp.o.d"
+  "/root/repo/src/primitives/color_reduction.cpp" "src/CMakeFiles/deltacolor.dir/primitives/color_reduction.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/color_reduction.cpp.o.d"
+  "/root/repo/src/primitives/degree_splitting.cpp" "src/CMakeFiles/deltacolor.dir/primitives/degree_splitting.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/degree_splitting.cpp.o.d"
+  "/root/repo/src/primitives/forest_coloring.cpp" "src/CMakeFiles/deltacolor.dir/primitives/forest_coloring.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/forest_coloring.cpp.o.d"
+  "/root/repo/src/primitives/heg.cpp" "src/CMakeFiles/deltacolor.dir/primitives/heg.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/heg.cpp.o.d"
+  "/root/repo/src/primitives/linial.cpp" "src/CMakeFiles/deltacolor.dir/primitives/linial.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/linial.cpp.o.d"
+  "/root/repo/src/primitives/list_coloring.cpp" "src/CMakeFiles/deltacolor.dir/primitives/list_coloring.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/list_coloring.cpp.o.d"
+  "/root/repo/src/primitives/maximal_matching.cpp" "src/CMakeFiles/deltacolor.dir/primitives/maximal_matching.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/maximal_matching.cpp.o.d"
+  "/root/repo/src/primitives/mis.cpp" "src/CMakeFiles/deltacolor.dir/primitives/mis.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/mis.cpp.o.d"
+  "/root/repo/src/primitives/ruling_set.cpp" "src/CMakeFiles/deltacolor.dir/primitives/ruling_set.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/primitives/ruling_set.cpp.o.d"
+  "/root/repo/src/randomized/randomized_coloring.cpp" "src/CMakeFiles/deltacolor.dir/randomized/randomized_coloring.cpp.o" "gcc" "src/CMakeFiles/deltacolor.dir/randomized/randomized_coloring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

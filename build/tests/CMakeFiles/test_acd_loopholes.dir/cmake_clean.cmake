@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acd_loopholes.dir/test_acd_loopholes.cpp.o"
+  "CMakeFiles/test_acd_loopholes.dir/test_acd_loopholes.cpp.o.d"
+  "test_acd_loopholes"
+  "test_acd_loopholes.pdb"
+  "test_acd_loopholes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acd_loopholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_color_reduction.dir/test_color_reduction.cpp.o"
+  "CMakeFiles/test_color_reduction.dir/test_color_reduction.cpp.o.d"
+  "test_color_reduction"
+  "test_color_reduction.pdb"
+  "test_color_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_color_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

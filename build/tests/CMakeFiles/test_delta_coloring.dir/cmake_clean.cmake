@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_coloring.dir/test_delta_coloring.cpp.o"
+  "CMakeFiles/test_delta_coloring.dir/test_delta_coloring.cpp.o.d"
+  "test_delta_coloring"
+  "test_delta_coloring.pdb"
+  "test_delta_coloring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

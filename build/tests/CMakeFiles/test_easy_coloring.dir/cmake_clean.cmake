@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_easy_coloring.dir/test_easy_coloring.cpp.o"
+  "CMakeFiles/test_easy_coloring.dir/test_easy_coloring.cpp.o.d"
+  "test_easy_coloring"
+  "test_easy_coloring.pdb"
+  "test_easy_coloring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_easy_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

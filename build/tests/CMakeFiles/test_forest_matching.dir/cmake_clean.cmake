@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forest_matching.dir/test_forest_matching.cpp.o"
+  "CMakeFiles/test_forest_matching.dir/test_forest_matching.cpp.o.d"
+  "test_forest_matching"
+  "test_forest_matching.pdb"
+  "test_forest_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forest_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

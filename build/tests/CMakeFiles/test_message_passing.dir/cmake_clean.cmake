@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_passing.dir/test_message_passing.cpp.o"
+  "CMakeFiles/test_message_passing.dir/test_message_passing.cpp.o.d"
+  "test_message_passing"
+  "test_message_passing.pdb"
+  "test_message_passing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rounds_accounting.dir/test_rounds_accounting.cpp.o"
+  "CMakeFiles/test_rounds_accounting.dir/test_rounds_accounting.cpp.o.d"
+  "test_rounds_accounting"
+  "test_rounds_accounting.pdb"
+  "test_rounds_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rounds_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

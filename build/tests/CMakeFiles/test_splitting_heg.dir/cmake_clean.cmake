@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitting_heg.dir/test_splitting_heg.cpp.o"
+  "CMakeFiles/test_splitting_heg.dir/test_splitting_heg.cpp.o.d"
+  "test_splitting_heg"
+  "test_splitting_heg.pdb"
+  "test_splitting_heg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitting_heg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

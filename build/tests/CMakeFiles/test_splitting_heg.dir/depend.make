@@ -1,0 +1,2 @@
+# Empty dependencies file for test_splitting_heg.
+# This may be replaced when dependencies are built.

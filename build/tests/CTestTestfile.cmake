@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_splitting_heg[1]_include.cmake")
+include("/root/repo/build/tests/test_acd_loopholes[1]_include.cmake")
+include("/root/repo/build/tests/test_delta_coloring[1]_include.cmake")
+include("/root/repo/build/tests/test_randomized[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_color_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_easy_coloring[1]_include.cmake")
+include("/root/repo/build/tests/test_message_passing[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_forest_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_rounds_accounting[1]_include.cmake")

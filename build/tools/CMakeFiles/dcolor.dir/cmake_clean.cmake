@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcolor.dir/dcolor.cpp.o"
+  "CMakeFiles/dcolor.dir/dcolor.cpp.o.d"
+  "dcolor"
+  "dcolor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
