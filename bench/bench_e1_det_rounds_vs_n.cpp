@@ -9,6 +9,8 @@
 // with n, exactly as Lemma 18's decomposition predicts.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
 #include "common/stats.hpp"
@@ -28,8 +30,19 @@ void run_tables() {
     std::vector<double> ns, heg_rounds, totals;
     for (int cliques = 32; cliques <= 2048; cliques *= 2) {
       const CliqueInstance inst = hard_instance(cliques, delta, 1234);
+      const auto t0 = std::chrono::steady_clock::now();
       const auto res = delta_color_dense(inst.graph, scaled_options(delta));
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
       const auto& lg = res.ledger;
+      BenchJson("E1")
+          .field("delta", delta)
+          .field("n", inst.graph.num_nodes())
+          .field("valid", res.valid)
+          .field("wall_ms", wall_ms)
+          .ledger(lg)
+          .print();
       t.row(inst.graph.num_nodes(), lg.total(),
             lg.phase_total("phase1-matching"), lg.phase_total("phase1-heg"),
             lg.phase_total("phase2-split"),

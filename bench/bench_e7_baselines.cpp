@@ -40,15 +40,26 @@ void run_tables() {
         hard ? hard_instance(128, delta, 17) : clique_ring(128, delta, 17);
     const Graph& g = inst.graph;
 
+    auto emit = [&](const char* algorithm, const RoundLedger& ledger,
+                    double ms, bool ok) {
+      BenchJson("E7")
+          .field("instance", kind)
+          .field("n", g.num_nodes())
+          .field("algorithm", algorithm)
+          .field("valid", ok)
+          .field("wall_ms", ms)
+          .ledger(ledger)
+          .print();
+    };
     {  // greedy Delta+1
       RoundLedger ledger;
       const auto t0 = std::chrono::steady_clock::now();
       const auto color = greedy_delta_plus_one(g, ledger);
       const double ms = ms_since(t0);
+      const bool ok = is_proper_coloring(g, color, delta + 1);
       t.row("greedy (Delta+1)", check_coloring(g, color).colors_used,
-            ledger.total(), ms,
-            is_proper_coloring(g, color, delta + 1) ? "valid (Delta+1)"
-                                                    : "INVALID");
+            ledger.total(), ms, ok ? "valid (Delta+1)" : "INVALID");
+      emit("greedy", ledger, ms, ok);
     }
     {  // layered baseline
       RoundLedger ledger;
@@ -64,6 +75,7 @@ void run_tables() {
             res.success ? check_coloring(g, res.color).colors_used : 0,
             ledger.total(), ms,
             res.success ? "valid (Delta)" : "STALLS (no loopholes)");
+      emit("layered", ledger, ms, res.success);
     }
     {  // deterministic (Theorem 1)
       const auto t0 = std::chrono::steady_clock::now();
@@ -72,6 +84,7 @@ void run_tables() {
       t.row("deterministic (Thm 1)",
             check_coloring(g, res.color).colors_used, res.ledger.total(),
             ms, res.valid ? "valid (Delta)" : "INVALID");
+      emit("deterministic", res.ledger, ms, res.valid);
     }
     {  // randomized (Theorem 2)
       const auto t0 = std::chrono::steady_clock::now();
@@ -80,6 +93,7 @@ void run_tables() {
       const double ms = ms_since(t0);
       t.row("randomized (Thm 2)", check_coloring(g, res.color).colors_used,
             res.ledger.total(), ms, res.valid ? "valid (Delta)" : "INVALID");
+      emit("randomized", res.ledger, ms, res.valid);
     }
     {  // Brooks, centralized
       const auto t0 = std::chrono::steady_clock::now();
@@ -94,6 +108,39 @@ void run_tables() {
               << "):\n";
     t.print();
     std::cout << "\n";
+  }
+
+  // Engine configurations head-to-head on the same protocol: the round
+  // engine's sparse-activation mode against full sweeps, on the message-
+  // passing color-trial workload (the engine's hot path).
+  banner("E7b", "round engine configurations (color trials, hard blow-up)");
+  {
+    const CliqueInstance inst = hard_instance(512, 16, 17);
+    const Graph& g = inst.graph;
+    Table t({"engine", "rounds", "wall(ms)", "valid"});
+    const std::pair<const char*, EngineOptions> configs[] = {
+        {"full-sweep serial", {1, false}},
+        {"frontier serial", {1, true}},
+        {"frontier 4 workers", {4, true}},
+    };
+    for (const auto& [name, opts] : configs) {
+      RoundLedger ledger;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto color =
+          color_trial_message_passing(g, 17, ledger, "trial", opts);
+      const double ms = ms_since(t0);
+      const bool ok = is_proper_coloring(g, color, g.max_degree() + 1);
+      t.row(name, ledger.total(), ms, ok ? "yes" : "NO");
+      BenchJson("E7")
+          .field("instance", "hard")
+          .field("n", g.num_nodes())
+          .field("algorithm", std::string("color-trial-mp ") + name)
+          .field("valid", ok)
+          .field("wall_ms", ms)
+          .ledger(ledger)
+          .print();
+    }
+    t.print();
   }
 }
 

@@ -1,11 +1,15 @@
 // Table printing for the experiment benches: aligned columns with a
-// markdown-ish layout, plus claimed-vs-measured verdict helpers.
+// markdown-ish layout, plus claimed-vs-measured verdict helpers and the
+// machine-readable BENCH_JSON emitter (one JSON object per line, prefixed
+// "BENCH_JSON ", with rounds and per-phase wall-clock from the ledger).
 #pragma once
 
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "local/ledger.hpp"
 
 namespace deltacolor::bench {
 
@@ -68,6 +72,60 @@ class Table {
 };
 
 inline const char* verdict(bool ok) { return ok ? "OK" : "VIOLATED"; }
+
+/// Builder for one machine-readable result line. Usage:
+///   BenchJson("E6").field("n", n).field("valid", ok)
+///       .ledger(res.ledger).print();
+/// emits
+///   BENCH_JSON {"bench":"E6","n":4096,"valid":true,"rounds":...,...}
+/// so downstream tooling can collect BENCH_*.json records with both the
+/// simulated round counts and the measured per-phase milliseconds.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench) {
+    os_ << "{\"bench\":\"" << bench << '"';
+  }
+
+  BenchJson& field(const std::string& key, double value) {
+    os_ << ",\"" << key << "\":" << value;
+    return *this;
+  }
+  BenchJson& field(const std::string& key, std::int64_t value) {
+    os_ << ",\"" << key << "\":" << value;
+    return *this;
+  }
+  BenchJson& field(const std::string& key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  BenchJson& field(const std::string& key, unsigned value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  BenchJson& field(const std::string& key, bool value) {
+    os_ << ",\"" << key << "\":" << (value ? "true" : "false");
+    return *this;
+  }
+  BenchJson& field(const std::string& key, const std::string& value) {
+    os_ << ",\"" << key << "\":\"" << value << '"';
+    return *this;
+  }
+  BenchJson& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+
+  /// Inlines the ledger's {"rounds":..,"ms":..,"phases":{..}} members.
+  BenchJson& ledger(const RoundLedger& l) {
+    const std::string j = l.json();  // "{...}" — splice without the braces
+    os_ << ',' << j.substr(1, j.size() - 2);
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) {
+    os << "BENCH_JSON " << os_.str() << "}\n";
+  }
+
+ private:
+  std::ostringstream os_;
+};
 
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "\n=== " << id << " — " << claim << " ===\n\n";

@@ -1,0 +1,70 @@
+// Small reusable thread pool with static chunked striping over index
+// ranges, built for the synchronous round engine: one fork/join per round,
+// contiguous node slices per worker, no work stealing (determinism comes
+// from the fact that workers write disjoint slices of the shadow buffer,
+// so the schedule cannot leak into results).
+//
+// Worker count resolution order: explicit constructor argument >
+// set_default_workers() (CLI) > DELTACOLOR_THREADS env var >
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deltacolor {
+
+class ThreadPool {
+ public:
+  /// fn(worker, begin, end): called once per worker with its contiguous
+  /// slice of the range. Results must not depend on `worker`.
+  using RangeFn = std::function<void(int worker, std::size_t begin,
+                                     std::size_t end)>;
+
+  /// `num_workers` <= 0 means default_workers().
+  explicit ThreadPool(int num_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Splits [begin, end) into num_workers() contiguous chunks and runs
+  /// fn on each, blocking until every chunk has finished. The calling
+  /// thread executes chunk 0 itself. Reentrant calls are not allowed.
+  void for_range(std::size_t begin, std::size_t end, const RangeFn& fn);
+
+  /// Library-wide default worker count (see resolution order above).
+  static int default_workers();
+
+  /// Overrides the default (e.g. from a --threads CLI flag). Must be
+  /// called before the first use of global() to affect the shared pool.
+  static void set_default_workers(int n);
+
+  /// Lazily constructed process-wide pool with default_workers() workers.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(int worker);
+
+  int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  const RangeFn* job_ = nullptr;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace deltacolor

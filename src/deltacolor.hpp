@@ -32,7 +32,9 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraph.hpp"
+#include "common/thread_pool.hpp"
 #include "local/ledger.hpp"
+#include "local/message_passing.hpp"
 #include "local/sync_runner.hpp"
 #include "primitives/degree_splitting.hpp"
 #include "primitives/heg.hpp"

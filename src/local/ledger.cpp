@@ -1,48 +1,126 @@
 #include "local/ledger.hpp"
 
-#include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/check.hpp"
 
 namespace deltacolor {
 
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping for phase labels.
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
 void RoundLedger::charge(const std::string& phase, std::int64_t rounds,
                          std::int64_t dilation) {
   DC_CHECK(rounds >= 0 && dilation >= 1);
   const std::int64_t real = rounds * dilation;
   total_ += real;
-  const auto it =
-      std::find_if(phases_.begin(), phases_.end(),
-                   [&](const auto& p) { return p.first == phase; });
-  if (it == phases_.end())
+  const auto [it, inserted] = phase_index_.try_emplace(phase, phases_.size());
+  if (inserted)
     phases_.emplace_back(phase, real);
   else
-    it->second += real;
+    phases_[it->second].second += real;
+}
+
+void RoundLedger::charge_time(const std::string& phase, double ms) {
+  DC_CHECK(ms >= 0.0);
+  time_total_ += ms;
+  const auto [it, inserted] = time_index_.try_emplace(phase, times_.size());
+  if (inserted)
+    times_.emplace_back(phase, ms);
+  else
+    times_[it->second].second += ms;
 }
 
 std::int64_t RoundLedger::phase_total(const std::string& phase) const {
-  const auto it =
-      std::find_if(phases_.begin(), phases_.end(),
-                   [&](const auto& p) { return p.first == phase; });
-  return it == phases_.end() ? 0 : it->second;
+  const auto it = phase_index_.find(phase);
+  return it == phase_index_.end() ? 0 : phases_[it->second].second;
+}
+
+double RoundLedger::phase_time(const std::string& phase) const {
+  const auto it = time_index_.find(phase);
+  return it == time_index_.end() ? 0.0 : times_[it->second].second;
 }
 
 void RoundLedger::merge(const RoundLedger& other) {
   for (const auto& [phase, rounds] : other.phases_) charge(phase, rounds);
+  for (const auto& [phase, ms] : other.times_) charge_time(phase, ms);
 }
 
 std::string RoundLedger::report() const {
   std::ostringstream os;
-  for (const auto& [phase, rounds] : phases_)
-    os << "  " << phase << ": " << rounds << " rounds\n";
-  os << "  TOTAL: " << total_ << " rounds\n";
+  for (const auto& [phase, rounds] : phases_) {
+    os << "  " << phase << ": " << rounds << " rounds";
+    if (const double ms = phase_time(phase); ms > 0.0)
+      os << " (" << ms << " ms)";
+    os << '\n';
+  }
+  os << "  TOTAL: " << total_ << " rounds";
+  if (time_total_ > 0.0) os << " (" << time_total_ << " ms)";
+  os << '\n';
+  return os.str();
+}
+
+std::string RoundLedger::time_report() const {
+  std::ostringstream os;
+  for (const auto& [phase, ms] : times_)
+    os << "  " << phase << ": " << ms << " ms\n";
+  os << "  TOTAL: " << time_total_ << " ms\n";
+  return os.str();
+}
+
+std::string RoundLedger::json() const {
+  std::ostringstream os;
+  os << "{\"rounds\":" << total_ << ",\"ms\":" << time_total_
+     << ",\"phases\":{";
+  bool first = true;
+  // Phases seen in either dimension, first-charge order, rounds first.
+  auto emit = [&](const std::string& phase) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, phase);
+    os << ":{\"rounds\":" << phase_total(phase)
+       << ",\"ms\":" << phase_time(phase) << '}';
+  };
+  for (const auto& [phase, rounds] : phases_) emit(phase);
+  for (const auto& [phase, ms] : times_)
+    if (phase_index_.find(phase) == phase_index_.end()) emit(phase);
+  os << "}}";
   return os.str();
 }
 
 void RoundLedger::clear() {
   phases_.clear();
+  times_.clear();
+  phase_index_.clear();
+  time_index_.clear();
   total_ = 0;
+  time_total_ = 0.0;
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(RoundLedger& ledger, std::string phase)
+    : ledger_(ledger), phase_(std::move(phase)), start_ns_(now_ns()) {}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  ledger_.charge_time(phase_, static_cast<double>(now_ns() - start_ns_) /
+                                  1e6);
 }
 
 }  // namespace deltacolor

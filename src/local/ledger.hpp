@@ -1,4 +1,4 @@
-// Round accounting for the LOCAL model.
+// Round and wall-clock accounting for the LOCAL model.
 //
 // Every distributed subroutine charges the rounds it consumed, tagged with a
 // phase label, so benches can report both the total round complexity and the
@@ -6,10 +6,17 @@
 // dilation * virtual_rounds, where the dilation is the number of real
 // communication rounds needed to simulate one round of the virtual graph
 // (<= 6 for every virtual graph in the paper).
+//
+// Alongside the (machine-independent, seed-reproducible) round counts the
+// ledger also accumulates per-phase wall-clock milliseconds
+// (charge_time / time_report), so benches can emit a machine-readable line
+// with both dimensions. Phase lookup is O(1) via a name index; phases()
+// preserves first-charge order.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -21,28 +28,69 @@ class RoundLedger {
   void charge(const std::string& phase, std::int64_t rounds,
               std::int64_t dilation = 1);
 
+  /// Charges `ms` wall-clock milliseconds against `phase`. Wall-clock is
+  /// measurement metadata, not simulated rounds: it never affects total().
+  void charge_time(const std::string& phase, double ms);
+
   /// Total rounds across all phases.
   std::int64_t total() const { return total_; }
 
-  /// Rounds charged against one phase label (0 if absent).
+  /// Total wall-clock milliseconds across all phases.
+  double time_total() const { return time_total_; }
+
+  /// Rounds charged against one phase label (0 if absent). O(1).
   std::int64_t phase_total(const std::string& phase) const;
+
+  /// Milliseconds charged against one phase label (0 if absent). O(1).
+  double phase_time(const std::string& phase) const;
 
   /// (phase, rounds) in first-charge order.
   const std::vector<std::pair<std::string, std::int64_t>>& phases() const {
     return phases_;
   }
 
-  /// Adds every phase of `other` into this ledger.
+  /// (phase, milliseconds) in first-charge order.
+  const std::vector<std::pair<std::string, double>>& times() const {
+    return times_;
+  }
+
+  /// Adds every phase (rounds and wall-clock) of `other` into this ledger.
   void merge(const RoundLedger& other);
 
-  /// Human-readable multi-line breakdown.
+  /// Human-readable multi-line breakdown (rounds, plus ms when charged).
   std::string report() const;
+
+  /// Human-readable per-phase wall-clock breakdown.
+  std::string time_report() const;
+
+  /// One-line JSON object with both dimensions:
+  /// {"rounds":N,"ms":X,"phases":{"p":{"rounds":N,"ms":X},...}}
+  std::string json() const;
 
   void clear();
 
  private:
   std::vector<std::pair<std::string, std::int64_t>> phases_;
+  std::vector<std::pair<std::string, double>> times_;
+  std::unordered_map<std::string, std::size_t> phase_index_;
+  std::unordered_map<std::string, std::size_t> time_index_;
   std::int64_t total_ = 0;
+  double time_total_ = 0.0;
+};
+
+/// RAII helper: charges the elapsed wall-clock of its scope to a phase.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(RoundLedger& ledger, std::string phase);
+  ~ScopedPhaseTimer();
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  RoundLedger& ledger_;
+  std::string phase_;
+  std::int64_t start_ns_;
 };
 
 }  // namespace deltacolor

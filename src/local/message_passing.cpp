@@ -13,26 +13,27 @@ enum class MisStatus : std::uint8_t { kUndecided, kCandidate, kIn, kOut };
 struct MisState {
   MisStatus status = MisStatus::kUndecided;
   std::uint64_t draw = 0;
-  int round = 0;
+
+  bool operator==(const MisState&) const = default;
 };
 
 }  // namespace
 
 std::vector<bool> mis_message_passing(const Graph& g, std::uint64_t seed,
                                       RoundLedger& ledger,
-                                      const std::string& phase) {
+                                      const std::string& phase,
+                                      const EngineOptions& engine) {
   const NodeId n = g.num_nodes();
-  SyncRunner<MisState> runner(g, std::vector<MisState>(n));
+  SyncRunner<MisState> runner(g, std::vector<MisState>(n), engine);
   const int max_rounds = 128 * (32 - __builtin_clz(n + 2));
 
   const auto step = [&](const SyncRunner<MisState>::View& view) {
     MisState s = view.self();
-    s.round = view.self().round + 1;
     if (s.status == MisStatus::kIn || s.status == MisStatus::kOut) return s;
-    if (view.self().round % 2 == 0) {
+    if (view.round() % 2 == 0) {
       // Draw phase: publish a fresh random value and become a candidate.
       s.draw = hash_mix(seed, view.id(),
-                        static_cast<std::uint64_t>(view.self().round)) |
+                        static_cast<std::uint64_t>(view.round())) |
                1;
       s.status = MisStatus::kCandidate;
       return s;
@@ -68,7 +69,11 @@ std::vector<bool> mis_message_passing(const Graph& g, std::uint64_t seed,
     return true;
   };
   // One extra sweep after the last join lets neighbors observe it.
-  int rounds = runner.run(max_rounds, step, done);
+  int rounds;
+  {
+    ScopedPhaseTimer timer(ledger, phase);
+    rounds = runner.run(max_rounds, step, done);
+  }
   // Post-pass: neighbors of IN nodes that were still undecided at halt.
   std::vector<bool> in_set(n, false);
   for (NodeId v = 0; v < n; ++v)
@@ -83,7 +88,8 @@ namespace {
 struct TrialState {
   Color color = kNoColor;   // committed color
   Color trial = kNoColor;   // this round's attempt
-  int round = 0;
+
+  bool operator==(const TrialState&) const = default;
 };
 
 }  // namespace
@@ -91,18 +97,42 @@ struct TrialState {
 std::vector<Color> color_trial_message_passing(const Graph& g,
                                                std::uint64_t seed,
                                                RoundLedger& ledger,
-                                               const std::string& phase) {
+                                               const std::string& phase,
+                                               const EngineOptions& engine) {
   const NodeId n = g.num_nodes();
   const int palette = g.max_degree() + 1;
-  SyncRunner<TrialState> runner(g, std::vector<TrialState>(n));
+  SyncRunner<TrialState> runner(g, std::vector<TrialState>(n), engine);
   const int max_rounds = 128 * (32 - __builtin_clz(n + 2));
 
   const auto step = [&](const SyncRunner<TrialState>::View& view) {
     TrialState s = view.self();
-    s.round = view.self().round + 1;
     if (s.color != kNoColor) return s;
-    if (view.self().round % 2 == 0) {
-      // Trial phase: sample a color unused by committed neighbors.
+    if (view.round() % 2 == 0) {
+      // Trial phase: sample uniformly among the colors unused by committed
+      // neighbors. For palettes up to 64 (Delta <= 63) the free set lives
+      // in one 64-bit mask — no allocation in the hot path; the k-th set
+      // bit enumerates free colors in the same ascending order as the
+      // vector fallback, so both paths draw identical trials.
+      const std::uint64_t draw = hash_mix(
+          seed, view.id(), static_cast<std::uint64_t>(view.round()));
+      if (palette <= 64) {
+        std::uint64_t used = 0;
+        for (const NodeId u : view.neighbors()) {
+          const Color cu = view.neighbor(u).color;
+          if (cu != kNoColor) used |= std::uint64_t{1} << cu;
+        }
+        const std::uint64_t all =
+            palette == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << palette) - 1;
+        std::uint64_t free_mask = all & ~used;
+        DC_CHECK(free_mask != 0);
+        int k = static_cast<int>(
+            draw % static_cast<std::uint64_t>(
+                       __builtin_popcountll(free_mask)));
+        while (k-- > 0) free_mask &= free_mask - 1;  // drop k lowest bits
+        s.trial = static_cast<Color>(__builtin_ctzll(free_mask));
+        return s;
+      }
       std::vector<bool> used(static_cast<std::size_t>(palette), false);
       for (const NodeId u : view.neighbors()) {
         const Color cu = view.neighbor(u).color;
@@ -112,9 +142,7 @@ std::vector<Color> color_trial_message_passing(const Graph& g,
       for (Color c = 0; c < palette; ++c)
         if (!used[static_cast<std::size_t>(c)]) free.push_back(c);
       DC_CHECK(!free.empty());
-      s.trial = free[hash_mix(seed, view.id(),
-                              static_cast<std::uint64_t>(view.self().round)) %
-                     free.size()];
+      s.trial = free[draw % free.size()];
       return s;
     }
     // Commit phase: keep the trial unless a neighbor tried or holds it.
@@ -132,7 +160,11 @@ std::vector<Color> color_trial_message_passing(const Graph& g,
       if (s.color == kNoColor) return false;
     return true;
   };
-  const int rounds = runner.run(max_rounds, step, done);
+  int rounds;
+  {
+    ScopedPhaseTimer timer(ledger, phase);
+    rounds = runner.run(max_rounds, step, done);
+  }
   DC_CHECK_MSG(rounds < max_rounds,
                "color_trial_message_passing did not converge");
   std::vector<Color> color(n);

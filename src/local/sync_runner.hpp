@@ -1,20 +1,63 @@
 // Double-buffered synchronous execution engine for LOCAL-model node
-// programs.
+// programs, with optional multi-threaded stepping and sparse activation.
 //
 // Fidelity contract: in round t, a node's transition function sees only its
 // own round-(t-1) state and the round-(t-1) states of its direct neighbors
 // (unbounded messages in LOCAL make "publish full state" the most general
 // message). The engine enforces this structurally: transitions write into a
 // shadow buffer that becomes visible only after every node has stepped.
+//
+// Execution engine. `run()` is a template over the step functor, so the
+// per-node call is devirtualized and inlined (no std::function in the hot
+// loop). Nodes are partitioned into contiguous chunks across a thread pool
+// each round; because every transition writes only its own slot of the
+// shadow buffer, the schedule cannot affect results — states are
+// bit-identical across worker counts and to the serial engine.
+//
+// Frontier mode (opt-in, EngineOptions::frontier) re-steps only nodes whose
+// *closed neighborhood* changed state in the previous round. This is sound
+// whenever the transition is a function of the closed neighborhood's
+// previous states (plus node identity and the global round number, provided
+// quiesced states are fixpoints for every later round — true for all
+// engine algorithms in this library, whose decided/committed nodes return
+// their state unchanged regardless of the round). Unchanged closed
+// neighborhood => unchanged output, so skipped nodes already hold the right
+// state. Many phases (color trials, MIS elimination, color reduction)
+// quiesce region-by-region, so late rounds touch a small frontier; round
+// counts and fixpoints are identical to full sweeps. The engine is
+// adaptive: while the changed set is wide it keeps sweeping everyone
+// (list bookkeeping would cost more than it saves) and drops to the
+// sparse active list once the frontier shrinks below a degree-aware
+// cutoff, switching back if it re-widens.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/graph.hpp"
 
 namespace deltacolor {
+
+/// Execution options for SyncRunner (and the engine algorithms built on
+/// it). The defaults reproduce the library-wide default worker count
+/// (DELTACOLOR_THREADS / hardware_concurrency) with full sweeps.
+struct EngineOptions {
+  /// Worker threads stepping nodes each round. 0 = library default
+  /// (ThreadPool::default_workers()), 1 = serial in the calling thread.
+  int num_threads = 0;
+  /// Re-step only nodes whose closed neighborhood changed last round.
+  /// Requires State to be equality-comparable; results and round counts
+  /// are identical to full sweeps (see header comment for the soundness
+  /// argument).
+  bool frontier = false;
+};
 
 template <typename State>
 class SyncRunner {
@@ -22,13 +65,20 @@ class SyncRunner {
   /// The per-node view a transition function receives.
   class View {
    public:
-    View(const Graph& g, NodeId v, const std::vector<State>& prev)
-        : g_(g), v_(v), prev_(prev) {}
+    View(const Graph& g, NodeId v, const std::vector<State>& prev,
+         int round)
+        : g_(g), v_(v), prev_(prev), round_(round) {}
 
     NodeId node() const { return v_; }
     std::uint64_t id() const { return g_.id(v_); }
     int degree() const { return g_.degree(v_); }
     std::span<const NodeId> neighbors() const { return g_.neighbors(v_); }
+
+    /// The round being computed's predecessor index: 0 in the first
+    /// executed round. Global lockstep round counters are shared knowledge
+    /// in a synchronous network, so exposing this does not weaken the
+    /// LOCAL fidelity contract.
+    int round() const { return round_; }
 
     const State& self() const { return prev_[v_]; }
 
@@ -43,40 +93,186 @@ class SyncRunner {
     const Graph& g_;
     NodeId v_;
     const std::vector<State>& prev_;
+    int round_;
   };
 
   /// Transition: given the view of round t-1, produce the round-t state.
+  /// (Type-erased alias for storage; run() itself is a template so direct
+  /// lambdas are devirtualized.)
   using Step = std::function<State(const View&)>;
   /// Global halting predicate, evaluated between rounds by the harness.
   /// (This is a simulation-harness convenience, not node knowledge; all
   /// algorithms in the library also have explicit round bounds.)
   using Done = std::function<bool(const std::vector<State>&)>;
 
-  SyncRunner(const Graph& g, std::vector<State> initial)
-      : g_(g), cur_(std::move(initial)) {
+  SyncRunner(const Graph& g, std::vector<State> initial,
+             EngineOptions options = {})
+      : g_(g), options_(options), cur_(std::move(initial)) {
     DC_CHECK(cur_.size() == g_.num_nodes());
     nxt_.resize(cur_.size());
+    if (options_.num_threads == 1) {
+      pool_ = nullptr;  // serial: no pool, step inline
+    } else if (options_.num_threads <= 0) {
+      pool_ = &ThreadPool::global();
+    } else {
+      owned_pool_ =
+          std::make_unique<ThreadPool>(options_.num_threads);
+      pool_ = owned_pool_.get();
+    }
   }
 
   /// Runs until `done` or `max_rounds`; returns rounds executed.
-  int run(int max_rounds, const Step& step, const Done& done) {
-    int rounds = 0;
-    while (rounds < max_rounds && !done(cur_)) {
-      for (NodeId v = 0; v < g_.num_nodes(); ++v)
-        nxt_[v] = step(View(g_, v, cur_));
-      cur_.swap(nxt_);
-      ++rounds;
+  /// StepFn: State(const View&). DoneFn: bool(const std::vector<State>&).
+  template <typename StepFn, typename DoneFn>
+  int run(int max_rounds, StepFn&& step, DoneFn&& done) {
+    if (options_.frontier) {
+      if constexpr (std::equality_comparable<State>) {
+        return run_frontier(max_rounds, step, done);
+      } else {
+        DC_CHECK_MSG(false,
+                     "frontier mode requires an equality-comparable State");
+      }
     }
-    return rounds;
+    return run_full(max_rounds, step, done);
   }
 
   const std::vector<State>& states() const { return cur_; }
   std::vector<State> take_states() { return std::move(cur_); }
 
  private:
+  template <typename StepFn, typename DoneFn>
+  int run_full(int max_rounds, StepFn& step, DoneFn& done) {
+    const NodeId n = g_.num_nodes();
+    int rounds = 0;
+    while (rounds < max_rounds && !done(cur_)) {
+      const int r = rounds;
+      each_chunk(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const NodeId v = static_cast<NodeId>(i);
+          nxt_[v] = step(View(g_, v, cur_, r));
+        }
+      });
+      cur_.swap(nxt_);
+      ++rounds;
+    }
+    return rounds;
+  }
+
+  template <typename StepFn, typename DoneFn>
+  int run_frontier(int max_rounds, StepFn& step, DoneFn& done) {
+    const NodeId n = g_.num_nodes();
+    changed_.assign(n, 0);
+    queued_.assign(n, 0);
+    // Cost model: a sparse round pays ~deg+1 per active node to step plus
+    // ~deg+1 per changed node to rebuild the frontier; a dense round pays
+    // ~deg+1 per node with no list bookkeeping. Sparse activation only
+    // wins once the changed set is well below n / (avg_deg + 2), so the
+    // engine runs dense sweeps while the frontier is wide and switches to
+    // the sparse list once it shrinks (re-widening switches back). Both
+    // round kinds are bit-identical in outcome; only the schedule differs.
+    const std::size_t avg_deg_plus_2 =
+        n == 0 ? 2 : 2 * g_.num_edges() / n + 2;
+    const std::size_t sparse_cutoff =
+        std::max<std::size_t>(1, n / (2 * avg_deg_plus_2));
+    std::vector<NodeId> active, next_active;
+    bool dense = true;  // the first sweep steps everyone
+
+    // Invariant at the top of each SPARSE round: for every node NOT on the
+    // active list, nxt_[v] == cur_[v] (its state cannot change, and the
+    // shadow slot already agrees). A dense round establishes it — every
+    // shadow slot is written, and unchanged nodes get equal values — and
+    // sparse rounds preserve it because a node whose step output differs
+    // from its previous state is in its own closed neighborhood and
+    // therefore re-activated.
+    int rounds = 0;
+    while (rounds < max_rounds && !done(cur_)) {
+      const int r = rounds;
+      if (dense) {
+        each_chunk(n, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const NodeId v = static_cast<NodeId>(i);
+            State s = step(View(g_, v, cur_, r));
+            changed_[v] = !(s == cur_[v]);
+            nxt_[v] = std::move(s);
+          }
+        });
+        cur_.swap(nxt_);
+        const std::size_t changed_count = static_cast<std::size_t>(
+            std::count(changed_.begin(), changed_.end(), std::uint8_t{1}));
+        if (changed_count <= sparse_cutoff) {
+          next_active.clear();
+          for (NodeId v = 0; v < n; ++v)
+            if (changed_[v]) next_active.push_back(v);
+          expand_frontier(next_active, active);
+          dense = false;
+        }
+      } else if (!active.empty()) {
+        each_chunk(active.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const NodeId v = active[i];
+            State s = step(View(g_, v, cur_, r));
+            changed_[v] = !(s == cur_[v]);
+            nxt_[v] = std::move(s);
+          }
+        });
+        cur_.swap(nxt_);
+        next_active.clear();
+        for (const NodeId v : active)
+          if (changed_[v]) next_active.push_back(v);
+        if (next_active.size() > sparse_cutoff) {
+          dense = true;  // frontier re-widened; sweep everyone again
+        } else {
+          expand_frontier(next_active, active);
+        }
+      }
+      ++rounds;
+    }
+    return rounds;
+  }
+
+  /// CSR reverse scan: in an undirected graph the nodes whose view of the
+  /// last round included a changed node are exactly the changed nodes'
+  /// closed neighborhoods. `queued_` dedups; `out` is rebuilt in place.
+  void expand_frontier(const std::vector<NodeId>& changed,
+                       std::vector<NodeId>& out) {
+    out.clear();
+    for (const NodeId v : changed) {
+      if (!queued_[v]) {
+        queued_[v] = 1;
+        out.push_back(v);
+      }
+      for (const NodeId u : g_.neighbors(v)) {
+        if (!queued_[u]) {
+          queued_[u] = 1;
+          out.push_back(u);
+        }
+      }
+    }
+    for (const NodeId v : out) queued_[v] = 0;
+  }
+
+  /// Runs fn over contiguous chunks of [0, size), one per worker; serial
+  /// (and pool-free) when options_.num_threads == 1.
+  template <typename ChunkFn>
+  void each_chunk(std::size_t size, ChunkFn&& fn) {
+    if (pool_ == nullptr || pool_->num_workers() == 1) {
+      fn(0, size);
+      return;
+    }
+    pool_->for_range(0, size,
+                     [&](int, std::size_t begin, std::size_t end) {
+                       fn(begin, end);
+                     });
+  }
+
   const Graph& g_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
   std::vector<State> cur_;
   std::vector<State> nxt_;
+  std::vector<std::uint8_t> changed_;  // frontier: state changed last round
+  std::vector<std::uint8_t> queued_;   // frontier: dedup for the next list
 };
 
 /// One round of "everyone publishes, everyone reads neighbors" implemented

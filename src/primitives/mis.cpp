@@ -31,6 +31,7 @@ std::vector<bool> mis_deterministic(const Graph& g, RoundLedger& ledger,
 
 std::vector<bool> mis_luby(const Graph& g, std::uint64_t seed,
                            RoundLedger& ledger, const std::string& phase) {
+  ScopedPhaseTimer timer(ledger, phase);
   const NodeId n = g.num_nodes();
   std::vector<bool> in_set(n, false);
   std::vector<bool> decided(n, false);

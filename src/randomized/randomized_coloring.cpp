@@ -1,6 +1,7 @@
 #include "randomized/randomized_coloring.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <queue>
@@ -77,10 +78,16 @@ RandomizedResult randomized_delta_color(const Graph& g,
       std::pow(std::log2(std::max<double>(4.0, g.num_nodes())), 21.0) <
       static_cast<double>(delta);
 
-  const Acd acd = compute_acd(g, res.ledger, options.acd);
+  const Acd acd = [&] {
+    ScopedPhaseTimer timer(res.ledger, "acd");
+    return compute_acd(g, res.ledger, options.acd);
+  }();
   res.dense = acd.is_dense();
   DC_CHECK_MSG(res.dense, "input graph is not dense (Definition 4)");
-  LoopholeSet loopholes = find_loopholes_dense(g, acd, res.ledger);
+  LoopholeSet loopholes = [&] {
+    ScopedPhaseTimer timer(res.ledger, "loopholes");
+    return find_loopholes_dense(g, acd, res.ledger);
+  }();
   const Hardness hardness = classify_hardness(g, acd, loopholes);
   res.stats.num_hard = hardness.num_hard;
   res.stats.num_easy = hardness.num_easy;
@@ -101,6 +108,14 @@ RandomizedResult randomized_delta_color(const Graph& g,
   // three triad vertices would forbid neighboring cliques entirely.
   std::vector<bool> slack_used(g.num_nodes(), false);
   std::vector<bool> pair_blocked(g.num_nodes(), false);
+  auto phase_t0 = std::chrono::steady_clock::now();
+  const auto end_phase = [&](const char* phase) {
+    res.ledger.charge_time(
+        phase, std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - phase_t0)
+                   .count());
+    phase_t0 = std::chrono::steady_clock::now();
+  };
   for (int round = 0; round < options.placement_rounds; ++round) {
     // Random processing priority simulates the local conflict resolution.
     std::vector<std::pair<std::uint64_t, int>> order;
@@ -150,6 +165,7 @@ RandomizedResult randomized_delta_color(const Graph& g,
     }
     res.ledger.charge("rand-preshattering", 2 * options.spacing + 3);
   }
+  end_phase("rand-preshattering");
   for (const int c : hard_acs)
     if (placed[static_cast<std::size_t>(c)]) ++res.stats.tnodes_placed;
   res.stats.failed_cliques =
@@ -182,6 +198,7 @@ RandomizedResult randomized_delta_color(const Graph& g,
       }
     }
     res.ledger.charge("rand-layering", options.layer_depth + 1);
+    end_phase("rand-layering");
   }
 
   // ----------------------------------------------------- Post-shattering
@@ -340,6 +357,7 @@ RandomizedResult randomized_delta_color(const Graph& g,
     }
     res.stats.max_component_rounds = static_cast<int>(max_comp_rounds);
     res.ledger.charge("rand-postshattering", max_comp_rounds);
+    end_phase("rand-postshattering");
   }
 
   // ------------------------------------------------------ Post-processing
@@ -362,7 +380,9 @@ RandomizedResult randomized_delta_color(const Graph& g,
     deg_plus_one_list_color(g, active, full_lists, res.color, res.ledger,
                             "rand-postprocessing");
   }
+  end_phase("rand-postprocessing");
   color_easy_and_loopholes(g, loopholes, res.color, res.ledger, "rand-easy");
+  end_phase("rand-easy");
 
   if (options.verify) {
     res.valid = is_delta_coloring(g, res.color);

@@ -3,8 +3,14 @@
 //   dcolor gen blowup  <cliques> <delta> <clique_size> <easy%> <seed> <out>
 //   dcolor gen ring    <cliques> <clique_size> <seed> <out>
 //   dcolor gen regular <n> <degree> <seed> <out>
-//   dcolor color <graph> [det|rand|brooks|greedy] [seed] [out]
+//   dcolor color <graph> [det|rand|brooks|greedy|trial|mis] [seed] [out]
 //   dcolor check <graph> <coloring>
+//
+// Global flags (anywhere on the command line):
+//   --threads=N    worker threads for the round engine (also settable via
+//                  the DELTACOLOR_THREADS env var; default: all cores)
+//   --frontier     sparse activation: re-step only nodes whose closed
+//                  neighborhood changed last round (engine algorithms)
 //
 // Graphs are plain edge lists ("n m" header then "u v" per line); colorings
 // are "v color" lines. `color` prints the summary and round ledger, writes
@@ -26,10 +32,15 @@ int usage() {
          "  dcolor gen blowup  <cliques> <delta> <size> <easy%> <seed> <out>\n"
          "  dcolor gen ring    <cliques> <size> <seed> <out>\n"
          "  dcolor gen regular <n> <degree> <seed> <out>\n"
-         "  dcolor color <graph> [det|rand|brooks|greedy] [seed] [out]\n"
-         "  dcolor check <graph> <coloring>\n";
+         "  dcolor color <graph> "
+         "[det|rand|brooks|greedy|trial|mis] [seed] [out]\n"
+         "  dcolor check <graph> <coloring>\n"
+         "flags: --threads=N (engine workers; env DELTACOLOR_THREADS), "
+         "--frontier (sparse activation)\n";
   return 2;
 }
+
+EngineOptions g_engine;  // from --threads / --frontier
 
 void write_coloring(const std::string& path, const std::vector<Color>& c) {
   std::ofstream os(path);
@@ -126,10 +137,32 @@ int cmd_color(int argc, char** argv) {
     std::cout << "greedy (Delta+1): "
               << check_coloring(g, color).describe() << ", rounds "
               << ledger.total() << "\n";
+  } else if (algo == "trial") {
+    RoundLedger ledger;
+    color = color_trial_message_passing(g, seed, ledger, "trial", g_engine);
+    std::cout << "color trials (Delta+1, engine): "
+              << check_coloring(g, color).describe() << "\n"
+              << ledger.report();
+  } else if (algo == "mis") {
+    RoundLedger ledger;
+    const auto set = mis_message_passing(g, seed, ledger, "mis", g_engine);
+    std::size_t size = 0;
+    for (const bool b : set) size += b;
+    std::cout << "MIS (engine): " << size << " of " << g.num_nodes()
+              << " nodes\n"
+              << ledger.report();
+    if (!out.empty()) {
+      std::ofstream os(out);
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if (set[v]) os << v << '\n';
+      std::cout << "set written to " << out << "\n";
+    }
+    return 0;
   } else {
     return usage();
   }
-  const int palette = algo == "greedy" ? delta + 1 : delta;
+  const int palette =
+      algo == "greedy" || algo == "trial" ? delta + 1 : delta;
   if (!is_proper_coloring(g, color, palette)) {
     std::cerr << "RESULT INVALID\n";
     return 1;
@@ -157,6 +190,22 @@ int cmd_check(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip global engine flags before positional dispatch.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 10);
+      if (n <= 0) return usage();
+      g_engine.num_threads = n;
+      ThreadPool::set_default_workers(n);
+    } else if (arg == "--frontier") {
+      g_engine.frontier = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
