@@ -10,13 +10,13 @@
 
 namespace deltacolor {
 
-std::vector<Color> greedy_delta_plus_one(const Graph& g, RoundLedger& ledger,
-                                         const std::string& phase) {
+std::vector<Color> greedy_delta_plus_one(const Graph& g, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "greedy");
   std::vector<Color> color(g.num_nodes(), kNoColor);
   std::vector<bool> active(g.num_nodes(), true);
   const auto lists = uniform_lists(g, g.max_degree() + 1);
   if (g.num_nodes() > 0)
-    deg_plus_one_list_color(g, active, lists, color, ledger, phase);
+    deg_plus_one_list_color(g, active, lists, color, ctx);
   return color;
 }
 

@@ -16,14 +16,22 @@
 
 #include "core/loopholes.hpp"
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
 
 /// (Delta+1)-coloring by one deg+1-list instance over the full palette
-/// {0..Delta}. Always succeeds.
-std::vector<Color> greedy_delta_plus_one(const Graph& g, RoundLedger& ledger,
-                                         const std::string& phase = "greedy");
+/// {0..Delta}. Always succeeds. Default phase "greedy".
+std::vector<Color> greedy_delta_plus_one(const Graph& g, LocalContext& ctx);
+
+/// RoundLedger-based compatibility wrapper (pre-LocalContext API).
+inline std::vector<Color> greedy_delta_plus_one(
+    const Graph& g, RoundLedger& ledger, const std::string& phase = "greedy") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return greedy_delta_plus_one(g, ctx);
+}
 
 struct LayeredBaselineResult {
   std::vector<Color> color;

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace deltacolor::bench {
+
+AlgorithmResult run_registered(std::string_view name, const Graph& g,
+                               const AlgorithmRequest& req) {
+  const AlgorithmEntry* entry = find_algorithm(name);
+  DC_CHECK_MSG(entry != nullptr,
+               "bench requested unregistered algorithm '" << name << "'");
+  return entry->run(g, req);
+}
 
 Hypergraph random_hypergraph(int num_vertices, int delta, int rank,
                              std::uint64_t seed) {

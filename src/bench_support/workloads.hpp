@@ -1,12 +1,22 @@
-// Shared workload builders for the experiment benches.
+// Shared workload builders for the experiment benches, plus the bench-side
+// entry into the algorithm registry (benches and the dcolor CLI resolve
+// algorithms from the same catalog).
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "graph/generators.hpp"
 #include "primitives/hypergraph.hpp"
+#include "registry/registry.hpp"
 
 namespace deltacolor::bench {
+
+/// Resolves `name` from the shared algorithm registry and runs it under
+/// the request's seed / engine options. Throws on unknown names (benches
+/// hardcode registered names; a typo should abort loudly).
+AlgorithmResult run_registered(std::string_view name, const Graph& g,
+                               const AlgorithmRequest& req = {});
 
 /// Hard dense instance: t cliques of size delta, vertex degree exactly
 /// delta, no loopholes anywhere.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
 
 #include "common/check.hpp"
 
@@ -115,6 +116,15 @@ void ThreadPool::set_default_workers(int n) {
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(default_workers());
   return pool;
+}
+
+ThreadPool& ThreadPool::shared(int workers) {
+  if (workers <= 0) return global();
+  const int w = clamp_workers(workers);
+  static std::mutex mu;
+  static std::map<int, ThreadPool> pools;  // node-stable: refs stay valid
+  std::lock_guard<std::mutex> lock(mu);
+  return pools.try_emplace(w, w).first->second;
 }
 
 }  // namespace deltacolor

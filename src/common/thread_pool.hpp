@@ -50,6 +50,13 @@ class ThreadPool {
   /// Lazily constructed process-wide pool with default_workers() workers.
   static ThreadPool& global();
 
+  /// Process-wide cached pool with exactly `workers` workers, shared by
+  /// every caller requesting that count (`workers` <= 0 maps to global()).
+  /// Engines are constructed per primitive call — composed pipelines build
+  /// hundreds of short-lived runners — so an explicit worker count must not
+  /// spawn (and join) fresh OS threads per runner.
+  static ThreadPool& shared(int workers);
+
  private:
   void worker_loop(int worker);
 

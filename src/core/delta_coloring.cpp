@@ -39,6 +39,7 @@ DeltaColoringResult delta_color_dense(const Graph& g,
   DC_CHECK_MSG(res.delta >= 3,
                "delta_color_dense requires Delta >= 3 (got " << res.delta
                                                              << ")");
+  LocalContext lctx(res.ledger, options.engine, options.hard.seed);
 
   // Step 1: almost-clique decomposition (Lemma 2).
   const Acd acd = compute_acd(g, res.ledger, options.acd);
@@ -60,7 +61,7 @@ DeltaColoringResult delta_color_dense(const Graph& g,
     std::fill(res.color.begin(), res.color.end(), kNoColor);
     // Step 2: color vertices in hard cliques (Algorithm 2).
     const HardColoringOutcome outcome = color_hard_cliques(
-        g, acd, hardness, res.color, options.hard, res.ledger);
+        g, acd, hardness, res.color, options.hard, lctx);
     res.hard_stats = outcome.stats;
     if (!outcome.retry_needed()) break;
     DC_CHECK_MSG(attempt < options.max_retries,
@@ -71,7 +72,7 @@ DeltaColoringResult delta_color_dense(const Graph& g,
 
   // Step 3: color easy almost cliques and loopholes (Algorithm 3).
   res.easy_stats =
-      color_easy_and_loopholes(g, loopholes, res.color, res.ledger);
+      color_easy_and_loopholes(g, loopholes, res.color, lctx);
 
   if (options.verify) {
     res.valid = is_delta_coloring(g, res.color);

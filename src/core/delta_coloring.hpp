@@ -12,6 +12,7 @@
 #include "core/easy_coloring.hpp"
 #include "core/hard_coloring.hpp"
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -19,6 +20,11 @@ namespace deltacolor {
 struct DeltaColoringOptions {
   AcdParams acd;
   HardColoringParams hard;
+  /// Execution-layer knobs (worker threads, frontier sweeps) threaded into
+  /// every engine-stepped subroutine via LocalContext. Purely about *how*
+  /// the simulation executes — the coloring is bit-identical across
+  /// settings.
+  EngineOptions engine;
   /// Run the final validity checker and record the outcome.
   bool verify = true;
   /// Maximum demotion retries (phi-collision witnesses re-classifying a

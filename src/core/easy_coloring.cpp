@@ -163,8 +163,9 @@ void color_loophole(const Graph& g, const Loophole& l,
 EasyColoringStats color_easy_and_loopholes(const Graph& g,
                                            const LoopholeSet& loopholes,
                                            std::vector<Color>& color,
-                                           RoundLedger& ledger,
+                                           LocalContext& lctx,
                                            const std::string& phase) {
+  RoundLedger& ledger = lctx.ledger();
   EasyColoringStats stats;
   const int delta = g.max_degree();
   const NodeId n = g.num_nodes();
@@ -232,7 +233,8 @@ EasyColoringStats color_easy_and_loopholes(const Graph& g,
   // and non-intersecting. One G_L round costs <= 7 real rounds (loophole
   // diameter <= 3, plus the connecting edge).
   RoundLedger gl_ledger;
-  const RulingSetResult rs = ruling_set(gl, gl_ledger, phase + "-ruling");
+  LocalContext gl_ctx(gl_ledger, lctx.engine(), lctx.seed());
+  const RulingSetResult rs = ruling_set(gl, gl_ctx);
   ledger.charge(phase + "-ruling", gl_ledger.total(), 7);
   stats.ruling_domination_radius = rs.domination_radius;
 
@@ -278,8 +280,8 @@ EasyColoringStats color_easy_and_loopholes(const Graph& g,
     std::vector<bool> active(n, false);
     for (NodeId v = 0; v < n; ++v)
       active[v] = layer[v] == i && color[v] == kNoColor;
-    deg_plus_one_list_color(g, active, lists, color, ledger,
-                            phase + "-layers");
+    ScopedPhase layer_phase(lctx, phase + "-layers");
+    deg_plus_one_list_color(g, active, lists, color, lctx);
   }
 
   // Finally the chosen loopholes, by brute force (Lemma 7). They are

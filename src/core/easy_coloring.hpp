@@ -20,6 +20,7 @@
 
 #include "core/loopholes.hpp"
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -34,12 +35,22 @@ struct EasyColoringStats {
 /// Completes the coloring of all still-uncolored vertices. Requires: every
 /// uncolored vertex can reach a loophole of `loopholes` through uncolored
 /// vertices (guaranteed when hard cliques are colored and every easy AC
-/// intersects a detected loophole). Rounds charged to `ledger`.
+/// intersects a detected loophole). Rounds charged to the context's ledger
+/// under `phase`-prefixed labels; the context's EngineOptions propagate
+/// into the nested ruling-set and deg+1-list engines.
 EasyColoringStats color_easy_and_loopholes(const Graph& g,
                                            const LoopholeSet& loopholes,
                                            std::vector<Color>& color,
-                                           RoundLedger& ledger,
+                                           LocalContext& lctx,
                                            const std::string& phase = "easy");
+
+/// RoundLedger-based compatibility wrapper (pre-LocalContext API).
+inline EasyColoringStats color_easy_and_loopholes(
+    const Graph& g, const LoopholeSet& loopholes, std::vector<Color>& color,
+    RoundLedger& ledger, const std::string& phase = "easy") {
+  LocalContext lctx(ledger);
+  return color_easy_and_loopholes(g, loopholes, color, lctx, phase);
+}
 
 /// Constructive deg-list coloring of one loophole: every vertex of `l` gets
 /// a color from {0..Delta-1} avoiding its already-colored neighbors.

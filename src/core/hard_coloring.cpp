@@ -40,7 +40,8 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
                                        const Hardness& hardness,
                                        std::vector<Color>& color,
                                        const HardColoringParams& params,
-                                       RoundLedger& ledger) {
+                                       LocalContext& lctx) {
+  RoundLedger& ledger = lctx.ledger();
   HardColoringOutcome out;
   HardColoringStats& st = out.stats;
   st.num_hard = hardness.num_hard;
@@ -90,7 +91,10 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     hx.set_ids(std::move(ids));
   }
   // T_MM realized by the Panconesi-Rizzi O(Delta + log* n) matcher [PR01].
-  const auto f1_flags = maximal_matching_pr(hx, ledger, "phase1-matching");
+  const auto f1_flags = [&] {
+    ScopedPhase phase(lctx, "phase1-matching");
+    return maximal_matching_pr(hx, lctx);
+  }();
   std::vector<std::pair<NodeId, NodeId>> f1;  // host endpoints
   std::vector<int> f1_at(g.num_nodes(), -1);  // host vertex -> F1 edge index
   for (EdgeId e = 0; e < hx.num_edges(); ++e) {
@@ -262,7 +266,10 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
   std::vector<OrientedEdge> f2;
   std::vector<std::vector<int>> outgoing_f2(ctx.hard_acs.size());
   if (!h.edges.empty()) {
-    const HegResult heg = solve_heg(h, ledger, "phase1-heg");
+    const HegResult heg = [&] {
+      ScopedPhase phase(lctx, "phase1-heg");
+      return solve_heg(h, lctx);
+    }();
     st.heg_complete = heg.complete;
     st.heg_rounds = heg.rounds;
     // F2: the grabbing sub-clique's proposer v_e re-points the edge to
@@ -334,10 +341,11 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     }
     if (!gq_edges.empty()) {
       RoundLedger split_ledger;
+      LocalContext split_ctx(split_ledger, lctx.engine(), params.seed);
       const auto split = degree_split_edges(
           2 * static_cast<int>(ctx.hard_acs.size()), gq_edges,
           ctx.levels_eff, params.split_segment_length, params.seed,
-          split_ledger, "phase2-split");
+          split_ctx);
       // One virtual G_Q round costs <= 3 real rounds (clique diameter 1 +
       // crossing edge).
       ledger.charge("phase2-split", split_ledger.total(), 3);
@@ -531,9 +539,11 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     std::vector<Color> gv_color(live.size(), kNoColor);
     std::vector<bool> active(live.size(), true);
     RoundLedger gv_ledger;
-    if (!live.empty())
-      deg_plus_one_list_color(gv, active, lists, gv_color, gv_ledger,
-                              "phase4a-pairs");
+    if (!live.empty()) {
+      LocalContext gv_ctx(gv_ledger, lctx.engine(), params.seed);
+      ScopedPhase phase(gv_ctx, "phase4a-pairs");
+      deg_plus_one_list_color(gv, active, lists, gv_color, gv_ctx);
+    }
     ledger.charge("phase4a-pairs", gv_ledger.total(), 3);  // dilation 3
     for (std::size_t i = 0; i < live.size(); ++i) {
       const std::size_t t = live[i];
@@ -593,15 +603,15 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = hardness.in_hard[v] && color[v] == kNoColor &&
                   !second_wave[v];
-    deg_plus_one_list_color(g, active, full_lists, color, ledger,
-                            "phase4b-rest");
+    ScopedPhase phase(lctx, "phase4b-rest");
+    deg_plus_one_list_color(g, active, full_lists, color, lctx);
   }
   {
     std::vector<bool> active(g.num_nodes(), false);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = second_wave[v] && color[v] == kNoColor;
-    deg_plus_one_list_color(g, active, full_lists, color, ledger,
-                            "phase4b-rest");
+    ScopedPhase phase(lctx, "phase4b-rest");
+    deg_plus_one_list_color(g, active, full_lists, color, lctx);
   }
   for (const NodeId v : hard_nodes)
     DC_CHECK_MSG(color[v] != kNoColor, "hard vertex " << v << " uncolored");

@@ -36,6 +36,7 @@
 #include "core/loopholes.hpp"
 #include "core/trace.hpp"
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -108,11 +109,21 @@ struct HardColoringOutcome {
 /// Colors every hard-clique vertex of g into `color` (entries must be
 /// kNoColor on entry for hard vertices). Easy-clique vertices are left
 /// uncolored — Algorithm 1 line 3 colors them afterwards. Rounds charged
-/// to `ledger` under "phase1".."phase4" labels.
+/// to the context's ledger under "phase1".."phase4" labels; the context's
+/// EngineOptions propagate into every nested engine-stepped primitive.
 HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
                                        const Hardness& hardness,
                                        std::vector<Color>& color,
                                        const HardColoringParams& params,
-                                       RoundLedger& ledger);
+                                       LocalContext& lctx);
+
+/// RoundLedger-based compatibility wrapper (pre-LocalContext API).
+inline HardColoringOutcome color_hard_cliques(
+    const Graph& g, const Acd& acd, const Hardness& hardness,
+    std::vector<Color>& color, const HardColoringParams& params,
+    RoundLedger& ledger) {
+  LocalContext lctx(ledger, {}, params.seed);
+  return color_hard_cliques(g, acd, hardness, color, params, lctx);
+}
 
 }  // namespace deltacolor

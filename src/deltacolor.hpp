@@ -30,13 +30,17 @@
 #include "graph/checker.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraph.hpp"
 #include "common/thread_pool.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 #include "local/message_passing.hpp"
 #include "local/sync_runner.hpp"
+#include "primitives/color_reduction.hpp"
 #include "primitives/degree_splitting.hpp"
+#include "primitives/forest_coloring.hpp"
 #include "primitives/heg.hpp"
 #include "primitives/linial.hpp"
 #include "primitives/list_coloring.hpp"
@@ -44,3 +48,4 @@
 #include "primitives/mis.hpp"
 #include "primitives/ruling_set.hpp"
 #include "randomized/randomized_coloring.hpp"
+#include "registry/registry.hpp"

@@ -1,0 +1,25 @@
+#include "local/context.hpp"
+
+#include <chrono>
+
+namespace deltacolor {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ScopedContextTimer::ScopedContextTimer(LocalContext& ctx)
+    : ctx_(ctx), phase_(ctx.phase()), start_ns_(now_ns()) {}
+
+ScopedContextTimer::~ScopedContextTimer() {
+  ctx_.ledger().charge_time(
+      phase_, static_cast<double>(now_ns() - start_ns_) / 1e6);
+}
+
+}  // namespace deltacolor

@@ -25,36 +25,54 @@ void append_json_string(std::ostringstream& os, const std::string& s) {
   os << '"';
 }
 
+/// Heterogeneous find-or-intern: the string_view key only becomes a
+/// std::string on the first charge of a label (the interning step).
+std::size_t intern(detail::PhaseIndex& index, std::string_view phase,
+                   std::size_t next_slot, bool& inserted) {
+  const auto it = index.find(phase);
+  if (it != index.end()) {
+    inserted = false;
+    return it->second;
+  }
+  inserted = true;
+  index.emplace(std::string(phase), next_slot);
+  return next_slot;
+}
+
 }  // namespace
 
-void RoundLedger::charge(const std::string& phase, std::int64_t rounds,
+void RoundLedger::charge(std::string_view phase, std::int64_t rounds,
                          std::int64_t dilation) {
   DC_CHECK(rounds >= 0 && dilation >= 1);
   const std::int64_t real = rounds * dilation;
   total_ += real;
-  const auto [it, inserted] = phase_index_.try_emplace(phase, phases_.size());
+  bool inserted = false;
+  const std::size_t slot = intern(phase_index_, phase, phases_.size(),
+                                  inserted);
   if (inserted)
-    phases_.emplace_back(phase, real);
+    phases_.emplace_back(std::string(phase), real);
   else
-    phases_[it->second].second += real;
+    phases_[slot].second += real;
 }
 
-void RoundLedger::charge_time(const std::string& phase, double ms) {
+void RoundLedger::charge_time(std::string_view phase, double ms) {
   DC_CHECK(ms >= 0.0);
   time_total_ += ms;
-  const auto [it, inserted] = time_index_.try_emplace(phase, times_.size());
+  bool inserted = false;
+  const std::size_t slot = intern(time_index_, phase, times_.size(),
+                                  inserted);
   if (inserted)
-    times_.emplace_back(phase, ms);
+    times_.emplace_back(std::string(phase), ms);
   else
-    times_[it->second].second += ms;
+    times_[slot].second += ms;
 }
 
-std::int64_t RoundLedger::phase_total(const std::string& phase) const {
+std::int64_t RoundLedger::phase_total(std::string_view phase) const {
   const auto it = phase_index_.find(phase);
   return it == phase_index_.end() ? 0 : phases_[it->second].second;
 }
 
-double RoundLedger::phase_time(const std::string& phase) const {
+double RoundLedger::phase_time(std::string_view phase) const {
   const auto it = time_index_.find(phase);
   return it == time_index_.end() ? 0.0 : times_[it->second].second;
 }
@@ -115,8 +133,9 @@ void RoundLedger::clear() {
   time_total_ = 0.0;
 }
 
-ScopedPhaseTimer::ScopedPhaseTimer(RoundLedger& ledger, std::string phase)
-    : ledger_(ledger), phase_(std::move(phase)), start_ns_(now_ns()) {}
+ScopedPhaseTimer::ScopedPhaseTimer(RoundLedger& ledger,
+                                   std::string_view phase)
+    : ledger_(ledger), phase_(phase), start_ns_(now_ns()) {}
 
 ScopedPhaseTimer::~ScopedPhaseTimer() {
   ledger_.charge_time(phase_, static_cast<double>(now_ns() - start_ns_) /

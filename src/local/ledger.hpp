@@ -10,27 +10,51 @@
 // Alongside the (machine-independent, seed-reproducible) round counts the
 // ledger also accumulates per-phase wall-clock milliseconds
 // (charge_time / time_report), so benches can emit a machine-readable line
-// with both dimensions. Phase lookup is O(1) via a name index; phases()
-// preserves first-charge order.
+// with both dimensions. Phase labels are interned: charge() takes a
+// std::string_view and resolves it against the phase-id map with a
+// heterogeneous (allocation-free) lookup, so per-round charges on hot paths
+// never construct a temporary std::string — a label is copied exactly once,
+// on its first charge. phases() preserves first-charge order.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace deltacolor {
 
+namespace detail {
+
+/// Transparent hash so unordered_map lookups accept std::string_view
+/// without materializing a std::string (C++20 heterogeneous lookup).
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  std::size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+using PhaseIndex =
+    std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>;
+
+}  // namespace detail
+
 class RoundLedger {
  public:
   /// Charges `rounds` real rounds against `phase`.
-  void charge(const std::string& phase, std::int64_t rounds,
+  void charge(std::string_view phase, std::int64_t rounds,
               std::int64_t dilation = 1);
 
   /// Charges `ms` wall-clock milliseconds against `phase`. Wall-clock is
   /// measurement metadata, not simulated rounds: it never affects total().
-  void charge_time(const std::string& phase, double ms);
+  void charge_time(std::string_view phase, double ms);
 
   /// Total rounds across all phases.
   std::int64_t total() const { return total_; }
@@ -39,10 +63,10 @@ class RoundLedger {
   double time_total() const { return time_total_; }
 
   /// Rounds charged against one phase label (0 if absent). O(1).
-  std::int64_t phase_total(const std::string& phase) const;
+  std::int64_t phase_total(std::string_view phase) const;
 
   /// Milliseconds charged against one phase label (0 if absent). O(1).
-  double phase_time(const std::string& phase) const;
+  double phase_time(std::string_view phase) const;
 
   /// (phase, rounds) in first-charge order.
   const std::vector<std::pair<std::string, std::int64_t>>& phases() const {
@@ -72,8 +96,8 @@ class RoundLedger {
  private:
   std::vector<std::pair<std::string, std::int64_t>> phases_;
   std::vector<std::pair<std::string, double>> times_;
-  std::unordered_map<std::string, std::size_t> phase_index_;
-  std::unordered_map<std::string, std::size_t> time_index_;
+  detail::PhaseIndex phase_index_;
+  detail::PhaseIndex time_index_;
   std::int64_t total_ = 0;
   double time_total_ = 0.0;
 };
@@ -81,7 +105,7 @@ class RoundLedger {
 /// RAII helper: charges the elapsed wall-clock of its scope to a phase.
 class ScopedPhaseTimer {
  public:
-  ScopedPhaseTimer(RoundLedger& ledger, std::string phase);
+  ScopedPhaseTimer(RoundLedger& ledger, std::string_view phase);
   ~ScopedPhaseTimer();
 
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;

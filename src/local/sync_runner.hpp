@@ -59,20 +59,38 @@ struct EngineOptions {
   bool frontier = false;
 };
 
-template <typename State>
+/// `GraphT` is any type modeling the GraphView concept (graph_view.hpp):
+/// the host Graph (the default), or a lazy InducedSubgraphView /
+/// PowerGraphView / LineGraphView — the engine itself never materializes
+/// virtual-graph adjacency.
+template <typename State, typename GraphT = Graph>
 class SyncRunner {
  public:
   /// The per-node view a transition function receives.
   class View {
    public:
-    View(const Graph& g, NodeId v, const std::vector<State>& prev,
+    View(const GraphT& g, NodeId v, const std::vector<State>& prev,
          int round)
         : g_(g), v_(v), prev_(prev), round_(round) {}
 
     NodeId node() const { return v_; }
     std::uint64_t id() const { return g_.id(v_); }
     int degree() const { return g_.degree(v_); }
-    std::span<const NodeId> neighbors() const { return g_.neighbors(v_); }
+
+    /// Contiguous sorted neighbor span — host graphs only; lazy views
+    /// enumerate via for_each_neighbor instead.
+    std::span<const NodeId> neighbors() const
+      requires requires(const GraphT& g, NodeId v) { g.neighbors(v); }
+    {
+      return g_.neighbors(v_);
+    }
+
+    /// fn(u) for every neighbor u of this node in the (possibly virtual)
+    /// graph — the view-generic way to read the neighborhood.
+    template <typename Fn>
+    void for_each_neighbor(Fn&& fn) const {
+      g_.for_each_neighbor(v_, fn);
+    }
 
     /// The round being computed's predecessor index: 0 in the first
     /// executed round. Global lockstep round counters are shared knowledge
@@ -83,14 +101,17 @@ class SyncRunner {
     const State& self() const { return prev_[v_]; }
 
     /// Round-(t-1) state of a *neighbor* u. Adjacency is checked in debug
-    /// builds — reading a non-neighbor's state would break the LOCAL model.
+    /// builds when the graph type supports the query — reading a
+    /// non-neighbor's state would break the LOCAL model.
     const State& neighbor(NodeId u) const {
-      DC_DCHECK(g_.has_edge(v_, u));
+      if constexpr (requires(const GraphT& g) { g.has_edge(v_, u); }) {
+        DC_DCHECK(g_.has_edge(v_, u));
+      }
       return prev_[u];
     }
 
    private:
-    const Graph& g_;
+    const GraphT& g_;
     NodeId v_;
     const std::vector<State>& prev_;
     int round_;
@@ -105,7 +126,7 @@ class SyncRunner {
   /// algorithms in the library also have explicit round bounds.)
   using Done = std::function<bool(const std::vector<State>&)>;
 
-  SyncRunner(const Graph& g, std::vector<State> initial,
+  SyncRunner(const GraphT& g, std::vector<State> initial,
              EngineOptions options = {})
       : g_(g), options_(options), cur_(std::move(initial)) {
     DC_CHECK(cur_.size() == g_.num_nodes());
@@ -115,9 +136,11 @@ class SyncRunner {
     } else if (options_.num_threads <= 0) {
       pool_ = &ThreadPool::global();
     } else {
-      owned_pool_ =
-          std::make_unique<ThreadPool>(options_.num_threads);
-      pool_ = owned_pool_.get();
+      // Cached process-wide pool for this worker count: runners are
+      // constructed per primitive call, and spawning/joining OS threads
+      // per runner would swamp the per-round parallel gains in composed
+      // pipelines (see ThreadPool::shared).
+      pool_ = &ThreadPool::shared(options_.num_threads);
     }
   }
 
@@ -138,6 +161,18 @@ class SyncRunner {
 
   const std::vector<State>& states() const { return cur_; }
   std::vector<State> take_states() { return std::move(cur_); }
+
+  /// Zero-round local relabeling: every node applies `fn` to its own state
+  /// with no communication (e.g. KW palette compaction between stages).
+  /// Runs on the worker pool; slots are disjoint, so results are
+  /// schedule-independent like regular rounds.
+  template <typename Fn>
+  void mutate_states(Fn&& fn) {
+    each_chunk(cur_.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        cur_[i] = fn(std::move(cur_[i]));
+    });
+  }
 
  private:
   template <typename StepFn, typename DoneFn>
@@ -170,8 +205,15 @@ class SyncRunner {
     // engine runs dense sweeps while the frontier is wide and switches to
     // the sparse list once it shrinks (re-widening switches back). Both
     // round kinds are bit-identical in outcome; only the schedule differs.
-    const std::size_t avg_deg_plus_2 =
-        n == 0 ? 2 : 2 * g_.num_edges() / n + 2;
+    std::size_t avg_deg_plus_2 = 2;
+    if constexpr (requires(const GraphT& g) { g.num_edges(); }) {
+      if (n != 0) avg_deg_plus_2 = 2 * g_.num_edges() / n + 2;
+    } else {
+      // Lazy views expose no global edge count; the max degree is a
+      // conservative stand-in (cutoff only tunes when sparse mode kicks
+      // in, never results).
+      avg_deg_plus_2 = static_cast<std::size_t>(g_.max_degree()) + 2;
+    }
     const std::size_t sparse_cutoff =
         std::max<std::size_t>(1, n / (2 * avg_deg_plus_2));
     std::vector<NodeId> active, next_active;
@@ -241,12 +283,12 @@ class SyncRunner {
         queued_[v] = 1;
         out.push_back(v);
       }
-      for (const NodeId u : g_.neighbors(v)) {
+      g_.for_each_neighbor(v, [&](NodeId u) {
         if (!queued_[u]) {
           queued_[u] = 1;
           out.push_back(u);
         }
-      }
+      });
     }
     for (const NodeId v : out) queued_[v] = 0;
   }
@@ -265,9 +307,8 @@ class SyncRunner {
                      });
   }
 
-  const Graph& g_;
+  const GraphT& g_;
   EngineOptions options_;
-  std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
   std::vector<State> cur_;
   std::vector<State> nxt_;

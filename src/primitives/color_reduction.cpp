@@ -1,26 +1,13 @@
 #include "primitives/color_reduction.hpp"
 
+// The KW reduction is fully generic over GraphView and lives in the header;
+// this translation unit pins an instantiation for the host graph so the
+// common path is compiled once into the library.
+
 namespace deltacolor {
 
-LinialResult kw_reduce_graph(const Graph& g, std::vector<Color> color,
-                             int num_colors, int target, RoundLedger& ledger,
-                             const std::string& phase) {
-  return kw_reduce(
-      g.num_nodes(), g.max_degree(), std::move(color), num_colors, target,
-      [&g](NodeId v, auto&& fn) {
-        for (const NodeId u : g.neighbors(v)) fn(u);
-      },
-      ledger, phase);
-}
-
-LinialResult schedule_coloring(const Graph& g, RoundLedger& ledger,
-                               const std::string& phase) {
-  const LinialResult lin = linial_coloring(g, ledger, phase);
-  if (g.num_nodes() == 0) return lin;
-  LinialResult res = kw_reduce_graph(g, lin.color, lin.num_colors,
-                                     g.max_degree() + 1, ledger, phase);
-  res.rounds += lin.rounds;
-  return res;
-}
+template LinialResult kw_reduce<Graph>(const Graph&, std::vector<Color>, int,
+                                       int, LocalContext&);
+template LinialResult schedule_coloring<Graph>(const Graph&, LocalContext&);
 
 }  // namespace deltacolor

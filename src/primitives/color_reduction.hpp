@@ -13,79 +13,124 @@
 //
 // Used to shrink Linial's O(Delta^2) palette before class-greedy sweeps,
 // turning their round cost from O(Delta^2) into O(Delta log Delta).
+//
+// Generic over any GraphView: the same engine-stepped implementation runs
+// on host graphs and on the lazy LineGraphView (edge-coloring reduction).
+// Each elimination round is one SyncRunner round; since holders of the
+// eliminated color form an independent set, double-buffered reads equal
+// the sequential in-place update, so results match the pre-engine code
+// bit for bit at any worker count.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "graph/graph.hpp"
-#include "local/ledger.hpp"
+#include "graph/graph_view.hpp"
+#include "local/context.hpp"
+#include "local/sync_runner.hpp"
 #include "primitives/linial.hpp"
 
 namespace deltacolor {
 
-/// Generic reduction over an implicit graph (see linial_reduce).
-/// `color` must be a proper coloring with values in [0, num_colors).
-template <typename ForEachNeighbor>
-LinialResult kw_reduce(NodeId n, int max_degree, std::vector<Color> color,
-                       int num_colors, int target,
-                       ForEachNeighbor&& for_each_neighbor,
-                       RoundLedger& ledger, const std::string& phase) {
+/// Generic reduction over any GraphView. `color` must be a proper coloring
+/// of the view with values in [0, num_colors). Charges the elimination
+/// rounds (times view.dilation()) to the active phase ("kw-reduce" when the
+/// caller opened none).
+template <GraphView ViewT>
+LinialResult kw_reduce(const ViewT& view, std::vector<Color> color,
+                       int num_colors, int target, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "kw-reduce");
+  const int max_degree = view.max_degree();
   DC_CHECK_MSG(target >= max_degree + 1,
                "KW reduction target " << target << " below Delta+1 = "
                                       << max_degree + 1);
+  DC_CHECK(target <= 1024);  // fixed scratch bound in the step below
   LinialResult res;
+
+  // The transition is keyed on the round number (which color is being
+  // eliminated), so quiet nodes must still step on their slot: frontier off.
+  SyncRunner<Color, ViewT> runner(view, std::move(color),
+                                  ctx.round_indexed_engine());
+  std::atomic<bool> failed{false};
+
   int k = num_colors;
   while (k > target) {
     const int group_size = 2 * target;
-    // Eliminate group-local colors [target, 2*target), top first, one
-    // round each (lockstep across groups).
-    for (int offset = group_size - 1; offset >= target; --offset) {
-      if (offset >= k) continue;  // nobody holds such a color anywhere
-      for (NodeId v = 0; v < n; ++v) {
-        if (color[v] % group_size != offset) continue;
-        const Color group_base = color[v] - offset;
-        bool used[2 * 1024];  // target <= 1024 guarded below
-        DC_CHECK(target <= 1024);
-        for (int c = 0; c < target; ++c) used[c] = false;
-        for_each_neighbor(v, [&](NodeId u) {
-          const Color cu = color[u];
-          if (cu >= group_base && cu < group_base + target)
-            used[cu - group_base] = true;
-        });
-        Color pick = -1;
-        for (int c = 0; c < target && pick == -1; ++c)
-          if (!used[c]) pick = group_base + c;
-        DC_CHECK_MSG(pick != -1, "KW: no free color at node " << v);
-        color[v] = pick;
-      }
-      ++res.rounds;
-    }
-    // Compact: group g's surviving colors [g*2t, g*2t + t) -> [g*t, (g+1)*t).
-    for (NodeId v = 0; v < n; ++v) {
-      const Color group = color[v] / group_size;
-      const Color within = color[v] % group_size;
-      DC_DCHECK(within < target);
-      color[v] = group * target + within;
-    }
+    const int hi = std::min(group_size, k);  // offsets >= k are held nowhere
+    // Eliminate group-local colors [target, hi), top first, one round each
+    // (lockstep across groups): engine round r handles offset hi - 1 - r.
+    const auto step = [&, hi, group_size, target](const auto& v) -> Color {
+      const Color c = v.self();
+      const int offset = hi - 1 - v.round();
+      if (c % group_size != offset) return c;
+      const Color group_base = c - offset;
+      bool used[1024];
+      for (int i = 0; i < target; ++i) used[i] = false;
+      v.for_each_neighbor([&](NodeId u) {
+        const Color cu = v.neighbor(u);
+        if (cu >= group_base && cu < group_base + target)
+          used[cu - group_base] = true;
+      });
+      for (int i = 0; i < target; ++i)
+        if (!used[i]) return group_base + i;
+      // Worker threads must not throw (ThreadPool does not propagate);
+      // flag and re-check on the main thread after the stage.
+      failed.store(true, std::memory_order_relaxed);
+      return c;
+    };
+    const auto never = [](const std::vector<Color>&) { return false; };
+    const int stage_rounds = hi - target;
+    runner.run(stage_rounds, step, never);
+    DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
+                 "KW: no free color during elimination");
+    res.rounds += stage_rounds;
+    // Compact: group g's surviving colors [g*2t, g*2t + t) -> [g*t, (g+1)*t)
+    // — a zero-round renaming (pure local computation).
+    runner.mutate_states([group_size, target](Color c) {
+      return (c / group_size) * target + (c % group_size);
+    });
     k = ((k + group_size - 1) / group_size) * target;
   }
-  res.color = std::move(color);
+  res.color = runner.take_states();
   res.num_colors = std::min(k, num_colors);
-  ledger.charge(phase, res.rounds);
+  ctx.charge(res.rounds, view.dilation());
   return res;
 }
 
-/// Graph convenience overload.
-LinialResult kw_reduce_graph(const Graph& g, std::vector<Color> color,
-                             int num_colors, int target, RoundLedger& ledger,
-                             const std::string& phase = "kw-reduce");
+/// Linial followed by KW down to max_degree()+1 colors: a proper
+/// (Delta+1)-coloring of the view in O(Delta log Delta + log* n) rounds —
+/// the schedule generator used by the class-greedy subroutines. Default
+/// phase "schedule".
+template <GraphView ViewT>
+LinialResult schedule_coloring(const ViewT& view, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "schedule");
+  const LinialResult lin = linial_coloring(view, ctx);
+  if (view.num_nodes() == 0) return lin;
+  LinialResult res = kw_reduce(view, lin.color, lin.num_colors,
+                               view.max_degree() + 1, ctx);
+  res.rounds += lin.rounds;
+  return res;
+}
 
-/// Linial followed by KW down to Delta+1 colors: a proper
-/// (Delta+1)-coloring in O(Delta log Delta + log* n) rounds — the schedule
-/// generator used by the class-greedy subroutines.
-LinialResult schedule_coloring(const Graph& g, RoundLedger& ledger,
-                               const std::string& phase = "schedule");
+// ---- RoundLedger-based compatibility wrappers (pre-LocalContext API) ----
+
+inline LinialResult kw_reduce_graph(const Graph& g, std::vector<Color> color,
+                                    int num_colors, int target,
+                                    RoundLedger& ledger,
+                                    const std::string& phase = "kw-reduce") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return kw_reduce(g, std::move(color), num_colors, target, ctx);
+}
+
+inline LinialResult schedule_coloring(const Graph& g, RoundLedger& ledger,
+                                      const std::string& phase = "schedule") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return schedule_coloring(g, ctx);
+}
 
 }  // namespace deltacolor

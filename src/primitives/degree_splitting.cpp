@@ -87,8 +87,8 @@ void halve(int num_nodes, const std::vector<std::pair<int, int>>& edges,
 
 DegreeSplitResult degree_split_edges(
     int num_nodes, const std::vector<std::pair<int, int>>& edges, int levels,
-    int segment_length, std::uint64_t seed, RoundLedger& ledger,
-    const std::string& phase) {
+    int segment_length, std::uint64_t seed, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "degree-split");
   DC_CHECK(levels >= 1 && segment_length >= 2);
   for (const auto& [a, b] : edges)
     DC_CHECK(a >= 0 && a < num_nodes && b >= 0 && b < num_nodes);
@@ -114,19 +114,18 @@ DegreeSplitResult degree_split_edges(
     }
     res.rounds += 1 + segment_length + log_star(num_nodes + 2);
   }
-  ledger.charge(phase, res.rounds);
+  ctx.charge(res.rounds);
   return res;
 }
 
 DegreeSplitResult degree_split(const Graph& g, int levels, int segment_length,
-                               std::uint64_t seed, RoundLedger& ledger,
-                               const std::string& phase) {
+                               std::uint64_t seed, LocalContext& ctx) {
   std::vector<std::pair<int, int>> edges;
   edges.reserve(g.num_edges());
   for (const auto& [u, v] : g.edges())
     edges.emplace_back(static_cast<int>(u), static_cast<int>(v));
   return degree_split_edges(static_cast<int>(g.num_nodes()), edges, levels,
-                            segment_length, seed, ledger, phase);
+                            segment_length, seed, ctx);
 }
 
 std::vector<int> part_degrees(const Graph& g, const DegreeSplitResult& split,

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -40,15 +41,39 @@ struct DegreeSplitResult {
 
 /// Splits an abstract multigraph's edges into 2^levels parts of near-equal
 /// per-node degree. `edges[k]` joins two virtual nodes in [0, num_nodes).
+/// The global walk extraction is a centralized stand-in for the recursive
+/// GHK+17 splitter (see the substitution note above): it is not stepped
+/// through the engine; only round accounting and the execution context
+/// flow through LocalContext. Default phase "degree-split".
 DegreeSplitResult degree_split_edges(
     int num_nodes, const std::vector<std::pair<int, int>>& edges, int levels,
-    int segment_length, std::uint64_t seed, RoundLedger& ledger,
-    const std::string& phase = "degree-split");
+    int segment_length, std::uint64_t seed, LocalContext& ctx);
 
 /// Graph overload: part indices are by EdgeId.
 DegreeSplitResult degree_split(const Graph& g, int levels, int segment_length,
-                               std::uint64_t seed, RoundLedger& ledger,
-                               const std::string& phase = "degree-split");
+                               std::uint64_t seed, LocalContext& ctx);
+
+// ---- RoundLedger-based compatibility wrappers (pre-LocalContext API) ----
+
+inline DegreeSplitResult degree_split_edges(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges, int levels,
+    int segment_length, std::uint64_t seed, RoundLedger& ledger,
+    const std::string& phase = "degree-split") {
+  LocalContext ctx(ledger, {}, seed);
+  ScopedPhase scope(ctx, phase);
+  return degree_split_edges(num_nodes, edges, levels, segment_length, seed,
+                            ctx);
+}
+
+inline DegreeSplitResult degree_split(const Graph& g, int levels,
+                                      int segment_length, std::uint64_t seed,
+                                      RoundLedger& ledger,
+                                      const std::string& phase =
+                                          "degree-split") {
+  LocalContext ctx(ledger, {}, seed);
+  ScopedPhase scope(ctx, phase);
+  return degree_split(g, levels, segment_length, seed, ctx);
+}
 
 /// Per-node edge count inside one part (verification helper).
 std::vector<int> part_degrees(const Graph& g, const DegreeSplitResult& split,

@@ -9,6 +9,9 @@
 // node adopts its parent's color (roots pick a fresh one), all siblings
 // agree, so a node sees at most two colors in its neighborhood and can
 // move into {0, 1, 2}.
+//
+// Both phases are stepped through the SyncRunner engine over a lazy
+// parent-pointer view (each node's only visible neighbor is its parent).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -26,15 +30,25 @@ struct ForestColoringResult {
 };
 
 /// `parent[v]` is v's parent in the forest or kNoNode for roots; `ids`
-/// are the unique node identifiers the reduction starts from.
+/// are the unique node identifiers the reduction starts from. Rounds are
+/// charged to the context's phase (default "forest-3col").
 ForestColoringResult forest_3_coloring(const std::vector<NodeId>& parent,
                                        const std::vector<std::uint64_t>& ids,
-                                       RoundLedger& ledger,
-                                       const std::string& phase = "forest-3col");
+                                       LocalContext& ctx);
 
 /// Validity helper: no node shares a color with its parent.
 bool is_proper_forest_coloring(const std::vector<NodeId>& parent,
                                const std::vector<Color>& color,
                                int num_colors);
+
+// ---- RoundLedger-based compatibility wrapper (pre-LocalContext API) ----
+
+inline ForestColoringResult forest_3_coloring(
+    const std::vector<NodeId>& parent, const std::vector<std::uint64_t>& ids,
+    RoundLedger& ledger, const std::string& phase = "forest-3col") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return forest_3_coloring(parent, ids, ctx);
+}
 
 }  // namespace deltacolor

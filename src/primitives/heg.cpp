@@ -80,8 +80,8 @@ void apply_augmenting_path(std::vector<int>& grabbed_edge,
 
 }  // namespace
 
-HegResult solve_heg(const Hypergraph& h, RoundLedger& ledger,
-                    const std::string& phase) {
+HegResult solve_heg(const Hypergraph& h, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "heg");
   DC_CHECK_MSG(static_cast<int>(h.incidence.size()) == h.num_vertices,
                "call build_incidence() before solve_heg");
   HegResult res;
@@ -144,7 +144,7 @@ HegResult solve_heg(const Hypergraph& h, RoundLedger& ledger,
       radius *= 2;
     }
   }
-  ledger.charge(phase, res.rounds);
+  ctx.charge(res.rounds);
   return res;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 #include "primitives/hypergraph.hpp"
 
@@ -33,8 +34,19 @@ struct HegResult {
 };
 
 /// Distributed-flavored HEG solver. `h` must have build_incidence() called.
-HegResult solve_heg(const Hypergraph& h, RoundLedger& ledger,
-                    const std::string& phase = "heg");
+/// The augmenting-path search is a centralized stand-in for the BMN+25
+/// algorithm (see the substitution note above): it is order-dependent, so
+/// it is *not* stepped through the engine; only round accounting and the
+/// execution context flow through LocalContext. Default phase "heg".
+HegResult solve_heg(const Hypergraph& h, LocalContext& ctx);
+
+/// RoundLedger-based compatibility wrapper (pre-LocalContext API).
+inline HegResult solve_heg(const Hypergraph& h, RoundLedger& ledger,
+                           const std::string& phase = "heg") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return solve_heg(h, ctx);
+}
 
 /// Centralized Hopcroft-Karp saturating matcher (ground truth for tests).
 HegResult solve_heg_centralized(const Hypergraph& h);

@@ -35,20 +35,8 @@ std::pair<std::uint64_t, int> linial_choose_field(int delta,
 
 }  // namespace detail
 
-LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
-                             const std::string& phase) {
-  std::vector<std::uint64_t> initial(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) initial[v] = g.id(v);
-  return linial_reduce(
-      g.num_nodes(), g.max_degree(), initial,
-      [&g](NodeId v, auto&& fn) {
-        for (const NodeId u : g.neighbors(v)) fn(u);
-      },
-      ledger, phase);
-}
-
-LinialResult linial_edge_coloring(const Graph& g, RoundLedger& ledger,
-                                  const std::string& phase) {
+LinialResult linial_edge_coloring(const Graph& g, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "linial-edge");
   const EdgeId m = g.num_edges();
   LinialResult empty;
   if (m == 0) {
@@ -56,9 +44,11 @@ LinialResult linial_edge_coloring(const Graph& g, RoundLedger& ledger,
     return empty;
   }
 
-  // Vertex coloring first (palette chi = O(Delta^2)).
+  // Vertex coloring first (palette chi = O(Delta^2)); its rounds are
+  // accounted separately below, so it runs against a throwaway ledger.
   RoundLedger vertex_ledger;
-  const LinialResult vertex = linial_coloring(g, vertex_ledger, phase);
+  LocalContext vertex_ctx(vertex_ledger, ctx.engine(), ctx.seed());
+  const LinialResult vertex = linial_coloring(g, vertex_ctx);
 
   // Compose a proper initial edge coloring: for edge (u, v) combine
   // (c_u, port_u(v)) and (c_v, port_v(u)) as an unordered pair, where
@@ -90,22 +80,14 @@ LinialResult linial_edge_coloring(const Graph& g, RoundLedger& ledger,
     }
   }
 
-  const int line_degree = std::max(0, 2 * g.max_degree() - 2);
-  LinialResult res = linial_reduce(
-      m, line_degree, initial,
-      [&g](NodeId e, auto&& fn) {
-        const auto [u, v] = g.endpoints(static_cast<EdgeId>(e));
-        for (const EdgeId f : g.incident_edges(u))
-          if (f != e) fn(static_cast<NodeId>(f));
-        for (const EdgeId f : g.incident_edges(v))
-          if (f != e) fn(static_cast<NodeId>(f));
-      },
-      ledger, phase);
-  // Line-graph rounds dilate by 2 (endpoints sync edge state over the
-  // edge); the vertex coloring's own rounds are real rounds.
-  ledger.charge(phase, res.rounds);  // second charge realizes dilation 2
-  res.rounds = vertex.rounds + 2 * res.rounds;
-  ledger.charge(phase, vertex.rounds);
+  // Reduce on the lazy line-graph view; each virtual round dilates to 2
+  // real rounds (endpoints sync edge state over the edge), realized by the
+  // view's dilation() inside linial_reduce's charge.
+  const LineGraphView line(g);
+  LinialResult res = linial_reduce(line, initial, ctx);
+  const int line_rounds = res.rounds;
+  res.rounds = vertex.rounds + 2 * line_rounds;
+  ctx.charge(vertex.rounds);  // the vertex coloring's rounds are real rounds
   return res;
 }
 

@@ -8,25 +8,32 @@
 // neighbor, so Delta*d < q points are excluded). Iterating reaches the
 // fixed point q0^2, q0 ~ Delta, in O(log* k) rounds.
 //
-// The core reduction is generic over an *implicit* graph (node count +
-// neighbor enumeration callback), so it also runs on line graphs and other
-// virtual graphs without materializing them.
+// The core reduction is generic over any GraphView (graph_view.hpp), so it
+// runs unchanged on host graphs, induced subgraphs, power graphs, and line
+// graphs — all without materializing the virtual graph. Each stage is one
+// synchronous round stepped through SyncRunner (multi-worker, bit-identical
+// across worker counts); rounds are charged to the LocalContext's active
+// phase with the view's dilation factor.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "graph/graph.hpp"
-#include "local/ledger.hpp"
+#include "graph/graph_view.hpp"
+#include "local/context.hpp"
+#include "local/sync_runner.hpp"
 
 namespace deltacolor {
 
 struct LinialResult {
   std::vector<Color> color;  ///< proper coloring, palette {0..num_colors-1}
   int num_colors = 0;
-  int rounds = 0;
+  int rounds = 0;  ///< virtual rounds of the view (not dilation-scaled)
 };
 
 namespace detail {
@@ -39,14 +46,16 @@ std::pair<std::uint64_t, int> linial_choose_field(int delta,
 
 }  // namespace detail
 
-/// Generic reduction. `initial` must be a proper coloring of the implicit
-/// graph (pairwise distinct along every edge); `for_each_neighbor(v, fn)`
-/// calls fn(u) for every neighbor u of v (duplicates tolerated).
-template <typename ForEachNeighbor>
-LinialResult linial_reduce(NodeId n, int max_degree,
+/// Generic reduction over any GraphView. `initial` must be a proper
+/// coloring of the view (pairwise distinct along every view edge).
+/// Charges rounds * view.dilation() to the context's active phase
+/// ("linial" when the caller opened none).
+template <GraphView ViewT>
+LinialResult linial_reduce(const ViewT& view,
                            const std::vector<std::uint64_t>& initial,
-                           ForEachNeighbor&& for_each_neighbor,
-                           RoundLedger& ledger, const std::string& phase) {
+                           LocalContext& ctx) {
+  DefaultPhase scope(ctx, "linial");
+  const NodeId n = view.num_nodes();
   LinialResult res;
   res.color.assign(n, 0);
   if (n == 0) {
@@ -55,75 +64,128 @@ LinialResult linial_reduce(NodeId n, int max_degree,
   }
   DC_CHECK(initial.size() == n);
 
-  std::vector<std::uint64_t> cur = initial;
   std::uint64_t max_val = 0;
-  for (NodeId v = 0; v < n; ++v) max_val = std::max(max_val, cur[v]);
+  for (const std::uint64_t c : initial) max_val = std::max(max_val, c);
+  const int max_degree = view.max_degree();
 
-  std::vector<std::uint64_t> nxt(n);
-  std::vector<std::uint32_t> coeff;  // flat (d+1) coefficients per node
-  for (;;) {
-    const auto [q, d] = detail::linial_choose_field(max_degree, max_val);
-    if (q * q > max_val) break;  // fixed point: no further progress
+  // Every stage is one engine round; the transition depends on the stage
+  // field (q, d), which changes between run() calls, so the frontier
+  // optimization does not apply (worker count still does).
+  SyncRunner<std::uint64_t, ViewT> runner(view, initial,
+                                          ctx.round_indexed_engine());
+  struct Stage {
+    std::uint64_t q = 0;
+    int d = 0;
+  };
+  Stage stage;
+  std::atomic<bool> failed{false};
 
-    // Decompose colors into base-q coefficient vectors (the "message"
-    // content each node publishes this round is its polynomial).
-    coeff.assign(static_cast<std::size_t>(n) * (d + 1), 0);
-    for (NodeId v = 0; v < n; ++v) {
-      std::uint64_t c = cur[v];
+  const auto step = [&](const auto& v) -> std::uint64_t {
+    const std::uint64_t q = stage.q;
+    const int d = stage.d;
+    // Decompose the closed neighborhood's colors into base-q coefficient
+    // vectors (the "message" each neighbor publishes is its polynomial).
+    thread_local std::vector<std::uint32_t> self_coeff;
+    thread_local std::vector<std::uint32_t> nbr_coeff;
+    self_coeff.assign(static_cast<std::size_t>(d) + 1, 0);
+    {
+      std::uint64_t c = v.self();
       for (int i = 0; i <= d; ++i) {
-        coeff[static_cast<std::size_t>(v) * (d + 1) + i] =
+        self_coeff[static_cast<std::size_t>(i)] =
             static_cast<std::uint32_t>(c % q);
         c /= q;
       }
     }
-    auto eval = [&](NodeId v, std::uint64_t x) {
-      const std::uint32_t* a = &coeff[static_cast<std::size_t>(v) * (d + 1)];
+    nbr_coeff.clear();
+    v.for_each_neighbor([&](NodeId u) {
+      if (u == v.node()) return;
+      std::uint64_t c = v.neighbor(u);
+      for (int i = 0; i <= d; ++i) {
+        nbr_coeff.push_back(static_cast<std::uint32_t>(c % q));
+        c /= q;
+      }
+    });
+    const auto eval = [&](const std::uint32_t* a, std::uint64_t x) {
       std::uint64_t acc = 0;
       for (int i = d; i >= 0; --i) acc = (acc * x + a[i]) % q;
       return acc;
     };
-    // Each node scans evaluation points until one separates it from every
-    // neighbor; guaranteed to exist since bad points number <= Delta * d < q.
-    for (NodeId v = 0; v < n; ++v) {
-      std::uint64_t chosen = q;  // sentinel
-      for (std::uint64_t x = 0; x < q && chosen == q; ++x) {
-        const std::uint64_t mine = eval(v, x);
-        bool ok = true;
-        for_each_neighbor(v, [&](NodeId u) {
-          if (ok && u != v && eval(u, x) == mine) ok = false;
-        });
-        if (ok) chosen = x;
+    // Scan evaluation points until one separates this node from every
+    // neighbor; guaranteed to exist since bad points number <= Delta*d < q.
+    const std::size_t nbrs = nbr_coeff.size() / (static_cast<std::size_t>(d) + 1);
+    for (std::uint64_t x = 0; x < q; ++x) {
+      const std::uint64_t mine = eval(self_coeff.data(), x);
+      bool ok = true;
+      for (std::size_t j = 0; j < nbrs && ok; ++j) {
+        if (eval(&nbr_coeff[j * (static_cast<std::size_t>(d) + 1)], x) ==
+            mine)
+          ok = false;
       }
-      DC_CHECK_MSG(chosen < q, "Linial: no collision-free point at node "
-                                   << v << " (q=" << q << ")");
-      nxt[v] = chosen * q + eval(v, chosen);
+      if (ok) return x * q + mine;
     }
-    cur.swap(nxt);
+    failed.store(true, std::memory_order_relaxed);
+    return v.self();
+  };
+  const auto never = [](const std::vector<std::uint64_t>&) { return false; };
+
+  for (;;) {
+    const auto [q, d] = detail::linial_choose_field(max_degree, max_val);
+    if (q * q > max_val) break;  // fixed point: no further progress
+    stage = Stage{q, d};
+    runner.run(1, step, never);
+    DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
+                 "Linial: no collision-free point (q=" << q << ")");
     max_val = q * q - 1;
     ++res.rounds;
     DC_CHECK_MSG(res.rounds < 64, "Linial failed to converge");
   }
 
   res.num_colors = static_cast<int>(max_val + 1);
-  for (NodeId v = 0; v < n; ++v) res.color[v] = static_cast<Color>(cur[v]);
-  ledger.charge(phase, res.rounds);
+  const auto& states = runner.states();
+  for (NodeId v = 0; v < n; ++v)
+    res.color[v] = static_cast<Color>(states[v]);
+  ctx.charge(res.rounds, view.dilation());
   return res;
 }
 
-/// O(Delta^2)-coloring of g in O(log* n) rounds from its LOCAL identifiers.
-LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
-                             const std::string& phase = "linial");
+/// O(Delta^2)-coloring of the view in O(log* n) rounds from its LOCAL
+/// identifiers (works on any GraphView; "linial" default phase).
+template <GraphView ViewT>
+LinialResult linial_coloring(const ViewT& view, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "linial");
+  const NodeId n = view.num_nodes();
+  std::vector<std::uint64_t> initial(n);
+  for (NodeId v = 0; v < n; ++v) initial[v] = view.id(v);
+  return linial_reduce(view, initial, ctx);
+}
 
 /// Proper *edge* coloring of g with an O(Delta^2)-sized palette, indexed by
-/// EdgeId, computed without materializing the line graph: a vertex Linial
-/// coloring is composed with per-endpoint port numbers into a proper (huge-
-/// palette) edge coloring, which the generic reduction then shrinks. Costs
-/// O(log* n) rounds; each line-graph round dilates to 2 real rounds.
-LinialResult linial_edge_coloring(const Graph& g, RoundLedger& ledger,
-                                  const std::string& phase = "linial-edge");
+/// EdgeId, computed on the lazy LineGraphView (the line graph is never
+/// materialized): a vertex Linial coloring is composed with per-endpoint
+/// port numbers into a proper (huge-palette) edge coloring, which the
+/// generic reduction then shrinks. Costs O(log* n) rounds; each line-graph
+/// round dilates to 2 real rounds (charged via the view's dilation).
+LinialResult linial_edge_coloring(const Graph& g, LocalContext& ctx);
 
 /// Buckets node indices by color class (helper for class-greedy sweeps:
 /// iterate classes in order, nodes of one class act simultaneously).
 std::vector<std::vector<NodeId>> color_classes(const LinialResult& lin);
+
+// ---- RoundLedger-based compatibility wrappers (pre-LocalContext API) ----
+
+inline LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
+                                    const std::string& phase = "linial") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return linial_coloring(g, ctx);
+}
+
+inline LinialResult linial_edge_coloring(
+    const Graph& g, RoundLedger& ledger,
+    const std::string& phase = "linial-edge") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return linial_edge_coloring(g, ctx);
+}
 
 }  // namespace deltacolor

@@ -1,10 +1,12 @@
 #include "primitives/list_coloring.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
-#include "graph/subgraph.hpp"
+#include "graph/graph_view.hpp"
+#include "local/sync_runner.hpp"
 #include "primitives/color_reduction.hpp"
 #include "primitives/linial.hpp"
 
@@ -12,7 +14,22 @@ namespace deltacolor {
 
 namespace {
 
-// Colors of already-colored neighbors of v removed from v's list.
+// Colors held by neighbors of v (via engine view `nv`), sorted — the
+// exclusion set for v's list. Thread-local scratch: called from pool
+// workers.
+template <typename ViewArg>
+const std::vector<Color>& taken_colors(const ViewArg& nv) {
+  thread_local std::vector<Color> taken;
+  taken.clear();
+  nv.for_each_neighbor([&](NodeId u) {
+    if (nv.neighbor(u) != kNoColor) taken.push_back(nv.neighbor(u));
+  });
+  std::sort(taken.begin(), taken.end());
+  return taken;
+}
+
+// Colors of already-colored neighbors of v removed from v's list
+// (precondition checking only; the engine sweeps use taken_colors).
 std::vector<Color> effective_list(const Graph& g, NodeId v,
                                   const std::vector<Color>& list,
                                   const std::vector<Color>& color) {
@@ -53,8 +70,8 @@ void check_precondition(const Graph& g, const std::vector<bool>& active,
 
 int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
                             const std::vector<std::vector<Color>>& lists,
-                            std::vector<Color>& color, RoundLedger& ledger,
-                            const std::string& phase) {
+                            std::vector<Color>& color, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "deg+1-list");
   check_precondition(g, active, lists, color);
 
   std::vector<NodeId> active_nodes;
@@ -62,76 +79,123 @@ int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
     if (active[v]) active_nodes.push_back(v);
   if (active_nodes.empty()) return 0;
 
-  // Symmetry breaking: Linial + Kuhn-Wattenhofer reduction on the
-  // active-induced subgraph gives a (deg_active+1)-class schedule in
+  // Symmetry breaking: Linial + Kuhn-Wattenhofer reduction on the lazy
+  // active-induced view gives a (deg_active+1)-class schedule in
   // O(Delta log Delta + log* n) rounds; then one greedy round per class.
   // Nodes of the same class are non-adjacent, so their simultaneous
   // choices cannot conflict.
-  const Subgraph sub = induced_subgraph(g, active_nodes);
-  RoundLedger sub_ledger;
-  const LinialResult lin = schedule_coloring(sub.graph, sub_ledger, phase);
+  const InducedSubgraphView sub(g, active_nodes);
+  RoundLedger sub_ledger;  // schedule rounds are re-charged below
+  LocalContext sub_ctx(sub_ledger, ctx.engine(), ctx.seed());
+  const LinialResult lin = schedule_coloring(sub, sub_ctx);
 
-  for (const auto& cls : color_classes(lin)) {
-    for (const NodeId i : cls) {
-      const NodeId v = sub.orig_of[i];
-      const auto eff = effective_list(g, v, lists[v], color);
-      DC_CHECK_MSG(!eff.empty(),
-                   "class-greedy ran out of colors at node " << v);
-      color[v] = eff.front();
-    }
-  }
+  // Class sweep on the *host* graph (exclusions come from all neighbors,
+  // active or not): engine round t colors schedule class t.
+  std::vector<Color> class_of(g.num_nodes(), -1);
+  for (NodeId i = 0; i < sub.num_nodes(); ++i)
+    class_of[sub.orig_of(i)] = lin.color[i];
+  SyncRunner<Color> runner(g, color, ctx.round_indexed_engine());
+  std::atomic<bool> failed{false};
+  const auto step = [&](const auto& v) -> Color {
+    if (class_of[v.node()] != v.round()) return v.self();
+    const std::vector<Color>& taken = taken_colors(v);
+    for (const Color c : lists[v.node()])
+      if (!std::binary_search(taken.begin(), taken.end(), c)) return c;
+    failed.store(true, std::memory_order_relaxed);
+    return v.self();
+  };
+  const auto never = [](const std::vector<Color>&) { return false; };
+  runner.run(lin.num_colors, step, never);
+  DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
+               "class-greedy ran out of colors");
+  color = runner.take_states();
+
   const int rounds = lin.rounds + lin.num_colors;
-  // The schedule's own rounds were charged into sub_ledger; re-charge them
-  // to the caller's ledger together with the class sweep.
-  ledger.charge(phase, lin.rounds + lin.num_colors);
+  // The schedule's own rounds went into sub_ledger; charge them to the
+  // caller's phase together with the class sweep.
+  ctx.charge(rounds);
   return rounds;
 }
+
+namespace {
+
+struct TrialState {
+  Color color = kNoColor;
+  Color trial = kNoColor;
+  bool operator==(const TrialState&) const = default;
+};
+
+}  // namespace
 
 int deg_plus_one_list_color_randomized(
     const Graph& g, const std::vector<bool>& active,
     const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
-    std::uint64_t seed, RoundLedger& ledger, const std::string& phase) {
+    LocalContext& ctx) {
+  DefaultPhase scope(ctx, "deg+1-list-rand");
   check_precondition(g, active, lists, color);
-  std::vector<bool> pending = active;
-  NodeId remaining = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v)
-    if (pending[v]) ++remaining;
+  const std::uint64_t seed = ctx.seed();
+  const int max_iterations = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
 
-  int rounds = 0;
-  const int max_rounds = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
-  std::vector<Color> trial(g.num_nodes(), kNoColor);
-  while (remaining > 0) {
-    DC_CHECK_MSG(rounds < max_rounds,
-                 "randomized deg+1 did not converge; remaining=" << remaining);
-    // Trial phase: every pending node samples from its effective list.
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      trial[v] = kNoColor;
-      if (!pending[v]) continue;
-      const auto eff = effective_list(g, v, lists[v], color);
-      DC_CHECK(!eff.empty());
-      trial[v] = eff[hash_mix(seed, v, static_cast<std::uint64_t>(rounds)) %
-                     eff.size()];
-    }
-    // Commit phase: keep the trial if no neighbor tried the same color.
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (trial[v] == kNoColor) continue;
-      bool ok = true;
-      for (const NodeId u : g.neighbors(v)) {
-        if (trial[u] == trial[v]) {
-          ok = false;
-          break;
-        }
+  // One iteration = 2 engine rounds: trial (2t) then commit (2t+1). A
+  // pending node's state flips every round (trial set, then cleared), and
+  // decided/inactive nodes are fixpoints, so the user's frontier setting is
+  // sound here and the sweep shrinks with the pending set.
+  std::vector<TrialState> initial(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) initial[v].color = color[v];
+  SyncRunner<TrialState> runner(g, std::move(initial), ctx.engine());
+  std::atomic<bool> failed{false};
+  const auto step = [&](const auto& v) -> TrialState {
+    TrialState s = v.self();
+    if (!active[v.node()] || s.color != kNoColor) return s;
+    if (v.round() % 2 == 0) {
+      // Trial: sample uniformly from the effective list.
+      thread_local std::vector<Color> taken;
+      taken.clear();
+      v.for_each_neighbor([&](NodeId u) {
+        if (v.neighbor(u).color != kNoColor)
+          taken.push_back(v.neighbor(u).color);
+      });
+      std::sort(taken.begin(), taken.end());
+      thread_local std::vector<Color> eff;
+      eff.clear();
+      for (const Color c : lists[v.node()])
+        if (!std::binary_search(taken.begin(), taken.end(), c))
+          eff.push_back(c);
+      if (eff.empty()) {
+        failed.store(true, std::memory_order_relaxed);
+        return s;
       }
-      if (ok) {
-        color[v] = trial[v];
-        pending[v] = false;
-        --remaining;
-      }
+      s.trial = eff[hash_mix(seed, v.node(),
+                             static_cast<std::uint64_t>(v.round() / 2)) %
+                    eff.size()];
+      return s;
     }
-    ++rounds;
-  }
-  ledger.charge(phase, rounds);
-  return rounds;
+    // Commit: keep the trial if no neighbor tried the same color.
+    if (s.trial == kNoColor) return s;
+    bool ok = true;
+    v.for_each_neighbor([&](NodeId u) {
+      if (v.neighbor(u).trial == s.trial) ok = false;
+    });
+    if (ok) s.color = s.trial;
+    s.trial = kNoColor;
+    return s;
+  };
+  const auto done = [&](const std::vector<TrialState>& states) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (active[v] && states[v].color == kNoColor) return false;
+    return true;
+  };
+  const int engine_rounds = runner.run(2 * max_iterations, step, done);
+  DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
+               "randomized deg+1: empty effective list");
+  DC_CHECK_MSG(done(runner.states()),
+               "randomized deg+1 did not converge");
+  const int iterations = (engine_rounds + 1) / 2;
+
+  const auto& states = runner.states();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) color[v] = states[v].color;
+  ctx.charge(iterations);
+  return iterations;
 }
 
 std::vector<std::vector<Color>> uniform_lists(const Graph& g,

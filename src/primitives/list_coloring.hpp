@@ -7,12 +7,17 @@
 // after removing the colors of already-colored neighbors, number at least
 // (number of active neighbors of v) + 1. Under this precondition the
 // class-greedy schedule always finds a free color.
+//
+// The deterministic schedule is computed on a lazy InducedSubgraphView of
+// the active nodes (the subgraph is never materialized); both variants step
+// their sweeps through the SyncRunner engine via LocalContext.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -21,23 +26,45 @@ namespace deltacolor {
 /// the global partial coloring and is extended in place; `lists[v]` is the
 /// allowed palette of active node v (entries for inactive nodes ignored).
 /// The deg+1 precondition is checked (throws on violation). Returns the
-/// number of LOCAL rounds consumed (also charged to `ledger` under `phase`).
+/// number of LOCAL rounds consumed (also charged to the context's phase,
+/// default "deg+1-list").
 int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
                             const std::vector<std::vector<Color>>& lists,
-                            std::vector<Color>& color, RoundLedger& ledger,
-                            const std::string& phase = "deg+1-list");
+                            std::vector<Color>& color, LocalContext& ctx);
 
 /// Randomized variant: active nodes repeatedly try a uniform color from
 /// their remaining list; a trial sticks if no neighbor tried or holds the
 /// same color. Terminates w.h.p. in O(log n) rounds under the same deg+1
-/// precondition.
+/// precondition. Randomness comes from ctx.seed().
 int deg_plus_one_list_color_randomized(
     const Graph& g, const std::vector<bool>& active,
     const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
-    std::uint64_t seed, RoundLedger& ledger,
-    const std::string& phase = "deg+1-list-rand");
+    LocalContext& ctx);
 
 /// Builds the default (Delta+1)-coloring lists {0..Delta} for every node.
 std::vector<std::vector<Color>> uniform_lists(const Graph& g, int num_colors);
+
+// ---- RoundLedger-based compatibility wrappers (pre-LocalContext API) ----
+
+inline int deg_plus_one_list_color(const Graph& g,
+                                   const std::vector<bool>& active,
+                                   const std::vector<std::vector<Color>>& lists,
+                                   std::vector<Color>& color,
+                                   RoundLedger& ledger,
+                                   const std::string& phase = "deg+1-list") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return deg_plus_one_list_color(g, active, lists, color, ctx);
+}
+
+inline int deg_plus_one_list_color_randomized(
+    const Graph& g, const std::vector<bool>& active,
+    const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
+    std::uint64_t seed, RoundLedger& ledger,
+    const std::string& phase = "deg+1-list-rand") {
+  LocalContext ctx(ledger, {}, seed);
+  ScopedPhase scope(ctx, phase);
+  return deg_plus_one_list_color_randomized(g, active, lists, color, ctx);
+}
 
 }  // namespace deltacolor

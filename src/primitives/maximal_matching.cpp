@@ -1,9 +1,12 @@
 #include "primitives/maximal_matching.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "graph/checker.hpp"
-#include "graph/subgraph.hpp"
+#include "graph/graph_view.hpp"
+#include "local/sync_runner.hpp"
 #include "primitives/color_reduction.hpp"
 #include "primitives/forest_coloring.hpp"
 #include "primitives/linial.hpp"
@@ -16,50 +19,66 @@ constexpr int kLineGraphDilation = 2;
 }  // namespace
 
 std::vector<bool> maximal_matching_deterministic(const Graph& g,
-                                                 RoundLedger& ledger,
-                                                 const std::string& phase) {
+                                                 LocalContext& ctx) {
+  DefaultPhase scope(ctx, "maximal-matching");
   std::vector<bool> in_matching(g.num_edges(), false);
   if (g.num_edges() == 0) return in_matching;
 
-  // Proper edge coloring (implicit line graph) reduced to 2*Delta-1
-  // classes, then one virtual round per color class: an edge joins if both
-  // endpoints are still free. Edges of a class share no endpoint.
+  // Proper edge coloring on the lazy line-graph view, reduced to 2*Delta-1
+  // classes, then one virtual round per color class: an edge joins if no
+  // adjacent edge (= line-graph neighbor = edge sharing an endpoint) did.
+  // Edges of a class share no endpoint. The coloring rounds are recharged
+  // below with their dilation already folded in, so the nested calls run
+  // against a throwaway ledger.
+  const LineGraphView line(g);
   RoundLedger ec_ledger;
-  LinialResult ec = linial_edge_coloring(g, ec_ledger, phase);
+  LocalContext ec_ctx(ec_ledger, ctx.engine(), ctx.seed());
+  LinialResult ec = linial_edge_coloring(g, ec_ctx);
   {
-    const int line_degree = std::max(0, 2 * g.max_degree() - 2);
-    LinialResult reduced = kw_reduce(
-        g.num_edges(), line_degree, std::move(ec.color), ec.num_colors,
-        line_degree + 1,
-        [&g](NodeId e, auto&& fn) {
-          const auto [u, v] = g.endpoints(static_cast<EdgeId>(e));
-          for (const EdgeId f : g.incident_edges(u))
-            if (f != e) fn(static_cast<NodeId>(f));
-          for (const EdgeId f : g.incident_edges(v))
-            if (f != e) fn(static_cast<NodeId>(f));
-        },
-        ec_ledger, phase);
+    LinialResult reduced = kw_reduce(line, std::move(ec.color),
+                                     ec.num_colors, line.max_degree() + 1,
+                                     ec_ctx);
     reduced.rounds = ec.rounds + 2 * reduced.rounds;  // line-graph dilation
     ec = std::move(reduced);
   }
 
-  std::vector<bool> matched(g.num_nodes(), false);
-  for (const auto& cls : color_classes(ec)) {
-    for (const NodeId en : cls) {
-      const EdgeId e = static_cast<EdgeId>(en);
-      const auto [u, v] = g.endpoints(e);
-      if (matched[u] || matched[v]) continue;
-      in_matching[e] = true;
-      matched[u] = matched[v] = true;
-    }
-  }
-  ledger.charge(phase, ec.rounds);  // edge-coloring rounds (dilation inside)
-  ledger.charge(phase, ec.num_colors, kLineGraphDilation);
+  SyncRunner<std::uint8_t, LineGraphView> runner(
+      line, std::vector<std::uint8_t>(g.num_edges(), 0),
+      ctx.round_indexed_engine());
+  const auto step = [&](const auto& e) -> std::uint8_t {
+    if (e.self()) return 1;
+    if (ec.color[e.node()] != e.round()) return 0;
+    bool blocked = false;
+    e.for_each_neighbor([&](NodeId f) {
+      if (e.neighbor(f)) blocked = true;
+    });
+    return blocked ? 0 : 1;
+  };
+  const auto never = [](const std::vector<std::uint8_t>&) { return false; };
+  runner.run(ec.num_colors, step, never);
+  const auto& states = runner.states();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) in_matching[e] = states[e] != 0;
+
+  ctx.charge(ec.rounds);  // edge-coloring rounds (dilation inside)
+  ctx.charge(ec.num_colors, kLineGraphDilation);
   return in_matching;
 }
 
-std::vector<bool> maximal_matching_pr(const Graph& g, RoundLedger& ledger,
-                                      const std::string& phase) {
+namespace {
+
+/// Panconesi-Rizzi per-node engine state for the proposal rounds.
+struct PrState {
+  std::uint8_t matched = 0;
+  NodeId proposal = kNoNode;  ///< forest parent this node proposed to
+  NodeId accepted = kNoNode;  ///< smallest-id proposer this parent accepted
+  EdgeId matched_edge = kNoEdge;
+  bool operator==(const PrState&) const = default;
+};
+
+}  // namespace
+
+std::vector<bool> maximal_matching_pr(const Graph& g, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "maximal-matching-pr");
   std::vector<bool> in_matching(g.num_edges(), false);
   if (g.num_edges() == 0) return in_matching;
   const int delta = g.max_degree();
@@ -94,84 +113,153 @@ std::vector<bool> maximal_matching_pr(const Graph& g, RoundLedger& ledger,
   int coloring_rounds = 0;
   for (int f = 0; f < delta; ++f) {
     RoundLedger forest_ledger;
+    LocalContext forest_ctx(forest_ledger, ctx.engine(), ctx.seed());
     const ForestColoringResult fc = forest_3_coloring(
-        parent_in[static_cast<std::size_t>(f)], ids, forest_ledger, phase);
+        parent_in[static_cast<std::size_t>(f)], ids, forest_ctx);
     forest_color[static_cast<std::size_t>(f)] = fc.color;
     coloring_rounds = std::max(coloring_rounds, fc.rounds);
   }
-  ledger.charge(phase, 1 + coloring_rounds);  // orientation + parallel CV
+  ctx.charge(1 + coloring_rounds);  // orientation + parallel CV
 
-  // Sequential forests, three proposal rounds each: free class-c nodes
-  // propose to their (free) forest parent; a parent accepts its smallest-
-  // identifier proposer.
-  std::vector<bool> matched(g.num_nodes(), false);
-  std::vector<NodeId> accepted(g.num_nodes(), kNoNode);
-  for (int f = 0; f < delta; ++f) {
-    for (Color cls = 0; cls < 3; ++cls) {
-      std::fill(accepted.begin(), accepted.end(), kNoNode);
-      for (NodeId v = 0; v < g.num_nodes(); ++v) {
-        if (matched[v] || forest_color[static_cast<std::size_t>(f)][v] != cls)
-          continue;
-        const NodeId p = parent_in[static_cast<std::size_t>(f)][v];
-        if (p == kNoNode || matched[p]) continue;
-        if (accepted[p] == kNoNode || g.id(v) < g.id(accepted[p]))
-          accepted[p] = v;
+  // Sequential forests, one (forest, class) slot per 3 engine rounds:
+  // propose (free class-c nodes point at their free forest parent), accept
+  // (a parent picks its smallest-identifier proposer), commit (both sides
+  // fold the handshake into their state — bookkeeping, not an extra
+  // message, hence the 2-rounds-per-class charge below). The slot schedule
+  // is round-indexed, so frontier mode is off.
+  SyncRunner<PrState> runner(g, std::vector<PrState>(g.num_nodes()),
+                             ctx.round_indexed_engine());
+  const auto step = [&](const auto& v) -> PrState {
+    PrState s = v.self();
+    const int slot = v.round() / 3;
+    const std::size_t f = static_cast<std::size_t>(slot / 3);
+    const Color cls = slot % 3;
+    switch (v.round() % 3) {
+      case 0: {  // propose
+        s.proposal = kNoNode;
+        if (s.matched || forest_color[f][v.node()] != cls) return s;
+        const NodeId p = parent_in[f][v.node()];
+        if (p != kNoNode && !v.neighbor(p).matched) s.proposal = p;
+        return s;
       }
-      for (NodeId p = 0; p < g.num_nodes(); ++p) {
-        const NodeId v = accepted[p];
-        if (v == kNoNode) continue;
-        in_matching[parent_edge[static_cast<std::size_t>(f)][v]] = true;
-        matched[v] = matched[p] = true;
+      case 1: {  // accept the smallest-identifier proposer
+        s.accepted = kNoNode;
+        v.for_each_neighbor([&](NodeId u) {
+          if (parent_in[f][u] != v.node()) return;
+          if (v.neighbor(u).proposal != v.node()) return;
+          if (s.accepted == kNoNode || g.id(u) < g.id(s.accepted))
+            s.accepted = u;
+        });
+        return s;
+      }
+      default: {  // commit
+        if (s.accepted != kNoNode) {  // parent side of a handshake
+          s.matched = 1;
+          s.accepted = kNoNode;
+          s.proposal = kNoNode;
+          return s;
+        }
+        if (s.proposal != kNoNode) {  // child side: did the parent accept?
+          if (v.neighbor(s.proposal).accepted == v.node()) {
+            s.matched = 1;
+            s.matched_edge = parent_edge[f][v.node()];
+          }
+          s.proposal = kNoNode;
+        }
+        return s;
       }
     }
-  }
-  ledger.charge(phase, 2 * 3 * delta);  // propose + accept per class
+  };
+  const auto never = [](const std::vector<PrState>&) { return false; };
+  runner.run(3 * 3 * delta, step, never);
+  const auto& states = runner.states();
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (states[v].matched_edge != kNoEdge)
+      in_matching[states[v].matched_edge] = true;
+
+  ctx.charge(2 * 3 * delta);  // propose + accept per class
   DC_DCHECK(is_matching(g, in_matching));
   return in_matching;
 }
 
-std::vector<bool> maximal_matching_randomized(const Graph& g,
-                                              std::uint64_t seed,
-                                              RoundLedger& ledger,
-                                              const std::string& phase) {
-  std::vector<bool> in_matching(g.num_edges(), false);
-  std::vector<bool> matched(g.num_nodes(), false);
-  int rounds = 0;
-  const int max_rounds = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
-  for (;;) {
-    // Any free edge left?
-    bool any_free = false;
-    for (EdgeId e = 0; e < g.num_edges() && !any_free; ++e) {
-      const auto [u, v] = g.endpoints(e);
-      any_free = !matched[u] && !matched[v];
-    }
-    if (!any_free) break;
-    DC_CHECK_MSG(rounds < max_rounds, "randomized matching did not converge");
+namespace {
 
-    // Proposal: every free node points at one free neighbor chosen at
-    // random; an edge whose two endpoints point at each other joins.
-    std::vector<NodeId> proposal(g.num_nodes(), kNoNode);
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (matched[v]) continue;
-      std::vector<NodeId> free_nbrs;
-      for (const NodeId u : g.neighbors(v))
-        if (!matched[u]) free_nbrs.push_back(u);
-      if (free_nbrs.empty()) continue;
-      proposal[v] =
-          free_nbrs[hash_mix(seed, g.id(v),
-                             static_cast<std::uint64_t>(rounds)) %
-                    free_nbrs.size()];
+/// Randomized proposal state: a matched node freezes; a free node redraws
+/// its proposal every iteration.
+struct RandMatchState {
+  std::uint8_t matched = 0;
+  NodeId proposal = kNoNode;
+  EdgeId proposal_edge = kNoEdge;
+  bool operator==(const RandMatchState&) const = default;
+};
+
+}  // namespace
+
+std::vector<bool> maximal_matching_randomized(const Graph& g,
+                                              LocalContext& ctx) {
+  DefaultPhase scope(ctx, "maximal-matching-rand");
+  const std::uint64_t seed = ctx.seed();
+  std::vector<bool> in_matching(g.num_edges(), false);
+  const int max_rounds = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
+
+  // One iteration = 2 engine rounds: propose (2t), then mutual-proposal
+  // match (2t+1). A free node with free neighbors changes state every
+  // round (proposal set, then cleared or frozen), and matched nodes /
+  // isolated-free nodes are fixpoints, so the user's frontier setting is
+  // sound and the sweep shrinks with the free subgraph.
+  SyncRunner<RandMatchState> runner(
+      g, std::vector<RandMatchState>(g.num_nodes()), ctx.engine());
+  const auto step = [&](const auto& v) -> RandMatchState {
+    RandMatchState s = v.self();
+    if (s.matched) return s;
+    if (v.round() % 2 == 0) {  // propose to a random free neighbor
+      s.proposal = kNoNode;
+      s.proposal_edge = kNoEdge;
+      thread_local std::vector<NodeId> free_nbrs;
+      thread_local std::vector<EdgeId> free_edges;
+      free_nbrs.clear();
+      free_edges.clear();
+      const auto nbrs = v.neighbors();
+      const auto inc = g.incident_edges(v.node());
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (!v.neighbor(nbrs[k]).matched) {
+          free_nbrs.push_back(nbrs[k]);
+          free_edges.push_back(inc[k]);
+        }
+      }
+      if (free_nbrs.empty()) return s;
+      const std::size_t pick =
+          hash_mix(seed, v.id(), static_cast<std::uint64_t>(v.round())) %
+          free_nbrs.size();
+      s.proposal = free_nbrs[pick];
+      s.proposal_edge = free_edges[pick];
+      return s;
     }
+    // Match on mutual proposals; both endpoints keep the same edge id.
+    if (s.proposal != kNoNode &&
+        v.neighbor(s.proposal).proposal == v.node()) {
+      s.matched = 1;  // proposal_edge survives as the matched edge
+    } else {
+      s.proposal_edge = kNoEdge;
+    }
+    s.proposal = kNoNode;
+    return s;
+  };
+  const auto done = [&](const std::vector<RandMatchState>& states) {
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       const auto [u, v] = g.endpoints(e);
-      if (proposal[u] == v && proposal[v] == u) {
-        in_matching[e] = true;
-        matched[u] = matched[v] = true;
-      }
+      if (!states[u].matched && !states[v].matched) return false;
     }
-    rounds += 2;  // propose + accept
-  }
-  ledger.charge(phase, rounds);
+    return true;
+  };
+  const int rounds = runner.run(2 * max_rounds, step, done);
+  DC_CHECK_MSG(done(runner.states()),
+               "randomized matching did not converge");
+  const auto& states = runner.states();
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (states[v].matched && states[v].proposal_edge != kNoEdge)
+      in_matching[states[v].proposal_edge] = true;
+  ctx.charge(rounds);
   return in_matching;
 }
 

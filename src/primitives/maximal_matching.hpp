@@ -2,20 +2,25 @@
 // coloring of the line graph (each line-graph round dilates to 2 real
 // rounds: the two endpoints of an edge hold its state and sync over the
 // edge) and the randomized Israeli-Itai-style proposal algorithm.
+//
+// All three variants step through the SyncRunner engine via LocalContext;
+// the deterministic variant runs its palette reduction and class sweep
+// directly on the lazy LineGraphView.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
 
-/// Flags by EdgeId; a maximal matching of g.
-std::vector<bool> maximal_matching_deterministic(
-    const Graph& g, RoundLedger& ledger,
-    const std::string& phase = "maximal-matching");
+/// Flags by EdgeId; a maximal matching of g. Default phase
+/// "maximal-matching".
+std::vector<bool> maximal_matching_deterministic(const Graph& g,
+                                                 LocalContext& ctx);
 
 /// Panconesi-Rizzi maximal matching in O(Delta + log* n) rounds: orient
 /// every edge toward its higher-identifier endpoint, split the out-edges
@@ -23,13 +28,39 @@ std::vector<bool> maximal_matching_deterministic(
 /// forest i; identifiers increase along edges, so each forest is acyclic),
 /// 3-color all forests at once with Cole-Vishkin, then process forests
 /// sequentially — within a forest, three proposal rounds (one per color
-/// class, children propose to parents) leave no free tree edge.
-std::vector<bool> maximal_matching_pr(
-    const Graph& g, RoundLedger& ledger,
-    const std::string& phase = "maximal-matching-pr");
+/// class, children propose to parents) leave no free tree edge. Default
+/// phase "maximal-matching-pr".
+std::vector<bool> maximal_matching_pr(const Graph& g, LocalContext& ctx);
 
-std::vector<bool> maximal_matching_randomized(
+/// Randomized proposal matching; randomness from ctx.seed(). Default phase
+/// "maximal-matching-rand".
+std::vector<bool> maximal_matching_randomized(const Graph& g,
+                                              LocalContext& ctx);
+
+// ---- RoundLedger-based compatibility wrappers (pre-LocalContext API) ----
+
+inline std::vector<bool> maximal_matching_deterministic(
+    const Graph& g, RoundLedger& ledger,
+    const std::string& phase = "maximal-matching") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return maximal_matching_deterministic(g, ctx);
+}
+
+inline std::vector<bool> maximal_matching_pr(
+    const Graph& g, RoundLedger& ledger,
+    const std::string& phase = "maximal-matching-pr") {
+  LocalContext ctx(ledger);
+  ScopedPhase scope(ctx, phase);
+  return maximal_matching_pr(g, ctx);
+}
+
+inline std::vector<bool> maximal_matching_randomized(
     const Graph& g, std::uint64_t seed, RoundLedger& ledger,
-    const std::string& phase = "maximal-matching-rand");
+    const std::string& phase = "maximal-matching-rand") {
+  LocalContext ctx(ledger, {}, seed);
+  ScopedPhase scope(ctx, phase);
+  return maximal_matching_randomized(g, ctx);
+}
 
 }  // namespace deltacolor

@@ -1,88 +1,121 @@
 #include "primitives/mis.hpp"
 
+#include <cstdint>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "local/sync_runner.hpp"
 #include "primitives/color_reduction.hpp"
 #include "primitives/linial.hpp"
 
 namespace deltacolor {
 
-std::vector<bool> mis_deterministic(const Graph& g, RoundLedger& ledger,
-                                    const std::string& phase) {
-  const LinialResult lin = schedule_coloring(g, ledger, phase);
+std::vector<bool> mis_deterministic(const Graph& g, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "mis");
+  const LinialResult lin = schedule_coloring(g, ctx);
+  // One engine round per color class: a node joins unless a neighbor
+  // already did. Same-class nodes are non-adjacent, so simultaneous joins
+  // are safe and the double-buffered engine matches the sequential sweep.
+  SyncRunner<std::uint8_t> runner(
+      g, std::vector<std::uint8_t>(g.num_nodes(), 0),
+      ctx.round_indexed_engine());
+  const auto step = [&](const auto& v) -> std::uint8_t {
+    if (v.self()) return 1;
+    if (lin.color[v.node()] != v.round()) return 0;
+    bool blocked = false;
+    v.for_each_neighbor([&](NodeId u) {
+      if (v.neighbor(u)) blocked = true;
+    });
+    return blocked ? 0 : 1;
+  };
+  const auto never = [](const std::vector<std::uint8_t>&) { return false; };
+  runner.run(lin.num_colors, step, never);
+  const auto& states = runner.states();
   std::vector<bool> in_set(g.num_nodes(), false);
-  // One round per color class: a node joins unless a neighbor already did.
-  // Same-class nodes are non-adjacent, so simultaneous joins are safe.
-  for (const auto& cls : color_classes(lin)) {
-    for (const NodeId v : cls) {
-      bool blocked = false;
-      for (const NodeId u : g.neighbors(v)) {
-        if (in_set[u]) {
-          blocked = true;
-          break;
-        }
-      }
-      if (!blocked) in_set[v] = true;
-    }
-  }
-  ledger.charge(phase, lin.num_colors);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) in_set[v] = states[v] != 0;
+  ctx.charge(lin.num_colors);
   return in_set;
 }
 
-std::vector<bool> mis_luby(const Graph& g, std::uint64_t seed,
-                           RoundLedger& ledger, const std::string& phase) {
-  ScopedPhaseTimer timer(ledger, phase);
+namespace {
+
+enum LubyStatus : std::uint8_t {
+  kLubyUndecided = 0,
+  kLubyCandidate = 1,
+  kLubyIn = 2,
+  kLubyOut = 3,
+};
+
+struct LubyState {
+  std::uint8_t status = kLubyUndecided;
+  std::uint64_t draw = 0;
+  bool operator==(const LubyState&) const = default;
+};
+
+}  // namespace
+
+std::vector<bool> mis_luby(const Graph& g, LocalContext& ctx) {
+  DefaultPhase scope(ctx, "mis-luby");
+  ScopedContextTimer timer(ctx);
   const NodeId n = g.num_nodes();
+  const std::uint64_t seed = ctx.seed();
+  const int max_iterations = 64 * (32 - __builtin_clz(n + 2));
+
+  // One Luby iteration = 3 engine rounds: draw (3t), join (3t+1),
+  // eliminate (3t+2). The transition is keyed on round % 3 and the draw on
+  // round / 3, so frontier mode is off (a quiet candidate must still see
+  // its elimination round).
+  SyncRunner<LubyState> runner(g, std::vector<LubyState>(n),
+                               ctx.round_indexed_engine());
+  const auto step = [&](const auto& v) -> LubyState {
+    LubyState s = v.self();
+    if (s.status == kLubyIn || s.status == kLubyOut) return s;
+    switch (v.round() % 3) {
+      case 0:  // draw: every undecided node becomes a candidate
+        s.draw = hash_mix(seed, v.id(),
+                          static_cast<std::uint64_t>(v.round() / 3)) |
+                 1;  // nonzero
+        s.status = kLubyCandidate;
+        return s;
+      case 1: {  // join if strict local maximum among candidates
+        bool is_max = true;
+        v.for_each_neighbor([&](NodeId u) {
+          const LubyState& nb = v.neighbor(u);
+          if (nb.status != kLubyCandidate) return;
+          if (nb.draw > s.draw ||
+              (nb.draw == s.draw && g.id(u) > v.id()))
+            is_max = false;
+        });
+        if (is_max) {
+          s.status = kLubyIn;
+          s.draw = 0;
+        }
+        return s;
+      }
+      default: {  // eliminate: neighbors of fresh members drop out
+        bool out = false;
+        v.for_each_neighbor([&](NodeId u) {
+          if (v.neighbor(u).status == kLubyIn) out = true;
+        });
+        s.status = out ? kLubyOut : kLubyUndecided;
+        s.draw = 0;
+        return s;
+      }
+    }
+  };
+  const auto done = [](const std::vector<LubyState>& states) {
+    for (const LubyState& s : states)
+      if (s.status != kLubyIn && s.status != kLubyOut) return false;
+    return true;
+  };
+  const int engine_rounds = runner.run(3 * max_iterations, step, done);
+  DC_CHECK_MSG(done(runner.states()), "Luby MIS did not converge");
+  const int iterations = (engine_rounds + 2) / 3;
+
+  const auto& states = runner.states();
   std::vector<bool> in_set(n, false);
-  std::vector<bool> decided(n, false);
-  NodeId remaining = n;
-  int rounds = 0;
-  const int max_rounds = 64 * (32 - __builtin_clz(n + 2));
-  std::vector<std::uint64_t> draw(n);
-  while (remaining > 0) {
-    DC_CHECK_MSG(rounds < max_rounds, "Luby MIS did not converge");
-    for (NodeId v = 0; v < n; ++v)
-      draw[v] = decided[v]
-                    ? 0
-                    : hash_mix(seed, g.id(v),
-                               static_cast<std::uint64_t>(rounds)) |
-                          1;  // nonzero
-    // Join if strict local maximum among undecided closed neighborhood
-    // (ties broken by identifier, folded into the hash's uniqueness via id).
-    std::vector<bool> join(n, false);
-    for (NodeId v = 0; v < n; ++v) {
-      if (decided[v]) continue;
-      bool is_max = true;
-      for (const NodeId u : g.neighbors(v)) {
-        if (decided[u]) continue;
-        if (draw[u] > draw[v] ||
-            (draw[u] == draw[v] && g.id(u) > g.id(v))) {
-          is_max = false;
-          break;
-        }
-      }
-      join[v] = is_max;
-    }
-    for (NodeId v = 0; v < n; ++v) {
-      if (!join[v]) continue;
-      in_set[v] = true;
-      decided[v] = true;
-      --remaining;
-    }
-    // Neighbors of fresh members drop out.
-    for (NodeId v = 0; v < n; ++v) {
-      if (decided[v]) continue;
-      for (const NodeId u : g.neighbors(v)) {
-        if (join[u]) {
-          decided[v] = true;
-          --remaining;
-          break;
-        }
-      }
-    }
-    ++rounds;
-  }
-  ledger.charge(phase, rounds);
+  for (NodeId v = 0; v < n; ++v) in_set[v] = states[v].status == kLubyIn;
+  ctx.charge(iterations);
   return in_set;
 }
 

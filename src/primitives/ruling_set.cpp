@@ -1,42 +1,16 @@
 #include "primitives/ruling_set.hpp"
 
-#include "common/check.hpp"
-#include "primitives/linial.hpp"
-
 namespace deltacolor {
 
-RulingSetResult ruling_set(const Graph& g, RoundLedger& ledger,
-                           const std::string& phase) {
-  RulingSetResult res;
-  const NodeId n = g.num_nodes();
-  res.in_set.assign(n, false);
-  if (n == 0) return res;
-
-  const LinialResult lin = linial_coloring(g, ledger, phase);
-  int bits = 1;
-  while ((1 << bits) < lin.num_colors) ++bits;
-  res.domination_radius = bits;
-
-  std::vector<bool> candidate(n, true);
-  std::vector<bool> next(n);
-  for (int b = bits - 1; b >= 0; --b) {
-    for (NodeId v = 0; v < n; ++v) {
-      next[v] = candidate[v];
-      if (!candidate[v] || ((lin.color[v] >> b) & 1) == 1) continue;
-      for (const NodeId u : g.neighbors(v)) {
-        if (candidate[u] && ((lin.color[u] >> b) & 1) == 1) {
-          next[v] = false;  // a bit-1 candidate neighbor dominates v
-          break;
-        }
-      }
-    }
-    candidate.swap(next);
-  }
-  // Survivors are independent: adjacent survivors would agree on every bit,
-  // i.e. share a Linial color — impossible for a proper coloring.
-  res.in_set = candidate;
-  ledger.charge(phase, bits);
-  return res;
+RulingSetResult ruling_set_power(const Graph& g, int radius,
+                                 LocalContext& ctx) {
+  DC_CHECK(radius >= 1);
+  DefaultPhase scope(ctx, "ruling-set-power");
+  const PowerGraphView power(g, radius);
+  return ruling_set(power, ctx);
 }
+
+// Pin the host-graph instantiation into the library.
+template RulingSetResult ruling_set<Graph>(const Graph&, LocalContext&);
 
 }  // namespace deltacolor

@@ -69,6 +69,7 @@ RandomizedResult randomized_delta_color(const Graph& g,
   }
   DC_CHECK_MSG(res.delta >= 3, "randomized_delta_color requires Delta >= 3");
   const int delta = res.delta;
+  LocalContext lctx(res.ledger, options.engine, options.seed);
   Rng rng(options.seed);
 
   // Algorithm 4 line 1 guard: Delta = omega(log^21 n) would delegate to
@@ -238,6 +239,10 @@ RandomizedResult randomized_delta_color(const Graph& g,
       RoundLedger comp_ledger;
       const std::vector<NodeId>& nodes =
           comp_nodes_list[static_cast<std::size_t>(k)];
+      // Deliberate materialization (not a lazy view): each shattered
+      // component — size poly(Delta) * log n by the shattering lemma —
+      // hosts a full nested pipeline (component ACD, Algorithm 2, BFS
+      // layering) that needs a first-class Graph with its own id space.
       const Subgraph sub = induced_subgraph(g, nodes);
       const NodeId nn = sub.graph.num_nodes();
       res.stats.max_component_vertices = std::max(
@@ -310,8 +315,9 @@ RandomizedResult randomized_delta_color(const Graph& g,
       hp.allow_useless = true;
       hp.node_lists = lists;
       hp.seed = hash_mix(options.seed, 77, k);
+      LocalContext comp_ctx(comp_ledger, options.engine, hp.seed);
       const HardColoringOutcome outcome = color_hard_cliques(
-          sub.graph, acd_c, hard_c, comp_color, hp, comp_ledger);
+          sub.graph, acd_c, hard_c, comp_color, hp, comp_ctx);
       DC_CHECK_MSG(outcome.demotions.empty(),
                    "unexpected demotion inside a shattered component");
 
@@ -345,8 +351,9 @@ RandomizedResult randomized_delta_color(const Graph& g,
           std::vector<bool> active(nn, false);
           for (NodeId i = 0; i < nn; ++i)
             active[i] = layer[i] == l && comp_color[i] == kNoColor;
+          ScopedPhase phase(comp_ctx, "rand-component-layers");
           deg_plus_one_list_color(sub.graph, active, lists, comp_color,
-                                  comp_ledger, "rand-component-layers");
+                                  comp_ctx);
         }
       }
       for (NodeId i = 0; i < nn; ++i) {
@@ -370,18 +377,18 @@ RandomizedResult randomized_delta_color(const Graph& g,
     std::vector<bool> active(g.num_nodes(), false);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = layer[v] == l && res.color[v] == kNoColor;
-    deg_plus_one_list_color(g, active, full_lists, res.color, res.ledger,
-                            "rand-postprocessing");
+    ScopedPhase phase(lctx, "rand-postprocessing");
+    deg_plus_one_list_color(g, active, full_lists, res.color, lctx);
   }
   {
     std::vector<bool> active(g.num_nodes(), false);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = layer[v] == 0 && res.color[v] == kNoColor;
-    deg_plus_one_list_color(g, active, full_lists, res.color, res.ledger,
-                            "rand-postprocessing");
+    ScopedPhase phase(lctx, "rand-postprocessing");
+    deg_plus_one_list_color(g, active, full_lists, res.color, lctx);
   }
   end_phase("rand-postprocessing");
-  color_easy_and_loopholes(g, loopholes, res.color, res.ledger, "rand-easy");
+  color_easy_and_loopholes(g, loopholes, res.color, lctx, "rand-easy");
   end_phase("rand-easy");
 
   if (options.verify) {

@@ -3,10 +3,15 @@
 //   dcolor gen blowup  <cliques> <delta> <clique_size> <easy%> <seed> <out>
 //   dcolor gen ring    <cliques> <clique_size> <seed> <out>
 //   dcolor gen regular <n> <degree> <seed> <out>
-//   dcolor color <graph> [det|rand|brooks|greedy|trial|mis] [seed] [out]
+//   dcolor color <graph> [algorithm] [seed] [out]
 //   dcolor check <graph> <coloring>
 //
+// Algorithms are resolved from the shared registry (the same catalog the
+// benches use); `dcolor --list` enumerates them. Unknown names exit with
+// status 2 and print the closest registered names.
+//
 // Global flags (anywhere on the command line):
+//   --list         list registered algorithms and exit
 //   --threads=N    worker threads for the round engine (also settable via
 //                  the DELTACOLOR_THREADS env var; default: all cores)
 //   --frontier     sparse activation: re-step only nodes whose closed
@@ -17,6 +22,7 @@
 // the coloring if an output path is given, and exits non-zero on failure.
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 
@@ -32,12 +38,20 @@ int usage() {
          "  dcolor gen blowup  <cliques> <delta> <size> <easy%> <seed> <out>\n"
          "  dcolor gen ring    <cliques> <size> <seed> <out>\n"
          "  dcolor gen regular <n> <degree> <seed> <out>\n"
-         "  dcolor color <graph> "
-         "[det|rand|brooks|greedy|trial|mis] [seed] [out]\n"
+         "  dcolor color <graph> [algorithm] [seed] [out]\n"
          "  dcolor check <graph> <coloring>\n"
-         "flags: --threads=N (engine workers; env DELTACOLOR_THREADS), "
-         "--frontier (sparse activation)\n";
+         "flags: --list (registered algorithms), --threads=N (engine "
+         "workers; env DELTACOLOR_THREADS), --frontier (sparse "
+         "activation)\n";
   return 2;
+}
+
+int list_algorithms() {
+  std::cout << "registered algorithms:\n";
+  for (const AlgorithmEntry& e : algorithm_registry())
+    std::cout << "  " << std::left << std::setw(10) << e.name << " "
+              << e.description << "\n";
+  return 0;
 }
 
 EngineOptions g_engine;  // from --threads / --frontier
@@ -102,74 +116,45 @@ int cmd_gen(int argc, char** argv) {
 
 int cmd_color(int argc, char** argv) {
   if (argc < 3) return usage();
+  const std::string algo = argc > 3 ? argv[3] : "det";
+  const AlgorithmEntry* entry = find_algorithm(algo);
+  if (entry == nullptr) {
+    std::cerr << "unknown algorithm '" << algo << "'";
+    const auto suggestions = suggest_algorithms(algo);
+    if (!suggestions.empty()) {
+      std::cerr << " — did you mean";
+      for (std::size_t i = 0; i < suggestions.size(); ++i)
+        std::cerr << (i == 0 ? " " : ", ") << "'" << suggestions[i] << "'";
+      std::cerr << "?";
+    }
+    std::cerr << " (see dcolor --list)\n";
+    return 2;
+  }
+
   Graph g = load_edge_list(argv[2]);
   g.set_ids(shuffled_ids(g.num_nodes(), 1));
-  const std::string algo = argc > 3 ? argv[3] : "det";
-  const std::uint64_t seed =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  AlgorithmRequest req;
+  req.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  req.engine = g_engine;
   const std::string out = argc > 5 ? argv[5] : "";
-  const int delta = g.max_degree();
 
-  std::vector<Color> color;
-  if (algo == "det") {
-    const auto res = delta_color_dense(g, scaled_options(delta));
-    std::cout << res.summary() << "\n" << res.ledger.report();
-    color = res.color;
-  } else if (algo == "rand") {
-    const auto res =
-        randomized_delta_color(g, scaled_randomized_options(delta, seed));
-    std::cout << "valid=" << res.valid << " rounds=" << res.ledger.total()
-              << " tnodes=" << res.stats.tnodes_placed << " components="
-              << res.stats.components << "\n"
-              << res.ledger.report();
-    color = res.color;
-  } else if (algo == "brooks") {
-    const auto res = brooks_coloring(g);
-    if (!res.success) {
-      std::cerr << "Brooks exception (K_{Delta+1} or odd cycle)\n";
-      return 1;
-    }
-    color = res.color;
-    std::cout << "Brooks: " << check_coloring(g, color).describe() << "\n";
-  } else if (algo == "greedy") {
-    RoundLedger ledger;
-    color = greedy_delta_plus_one(g, ledger);
-    std::cout << "greedy (Delta+1): "
-              << check_coloring(g, color).describe() << ", rounds "
-              << ledger.total() << "\n";
-  } else if (algo == "trial") {
-    RoundLedger ledger;
-    color = color_trial_message_passing(g, seed, ledger, "trial", g_engine);
-    std::cout << "color trials (Delta+1, engine): "
-              << check_coloring(g, color).describe() << "\n"
-              << ledger.report();
-  } else if (algo == "mis") {
-    RoundLedger ledger;
-    const auto set = mis_message_passing(g, seed, ledger, "mis", g_engine);
-    std::size_t size = 0;
-    for (const bool b : set) size += b;
-    std::cout << "MIS (engine): " << size << " of " << g.num_nodes()
-              << " nodes\n"
-              << ledger.report();
-    if (!out.empty()) {
-      std::ofstream os(out);
-      for (NodeId v = 0; v < g.num_nodes(); ++v)
-        if (set[v]) os << v << '\n';
-      std::cout << "set written to " << out << "\n";
-    }
-    return 0;
-  } else {
-    return usage();
-  }
-  const int palette =
-      algo == "greedy" || algo == "trial" ? delta + 1 : delta;
-  if (!is_proper_coloring(g, color, palette)) {
+  const AlgorithmResult res = entry->run(g, req);
+  std::cout << res.summary << "\n" << res.ledger.report();
+  if (!res.ok) {
     std::cerr << "RESULT INVALID\n";
     return 1;
   }
   if (!out.empty()) {
-    write_coloring(out, color);
-    std::cout << "coloring written to " << out << "\n";
+    if (!res.color.empty()) {
+      write_coloring(out, res.color);
+      std::cout << "coloring written to " << out << "\n";
+    } else if (!res.in_set.empty()) {
+      std::ofstream os(out);
+      for (std::size_t i = 0; i < res.in_set.size(); ++i)
+        if (res.in_set[i]) os << i << '\n';
+      std::cout << (res.set_on_edges ? "edge set" : "set") << " written to "
+                << out << "\n";
+    }
   }
   return 0;
 }
@@ -201,6 +186,8 @@ int main(int argc, char** argv) {
       ThreadPool::set_default_workers(n);
     } else if (arg == "--frontier") {
       g_engine.frontier = true;
+    } else if (arg == "--list") {
+      return list_algorithms();
     } else {
       argv[kept++] = argv[i];
     }
