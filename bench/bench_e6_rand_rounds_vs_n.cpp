@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string_view>
 #include <thread>
 
 #include "bench_support/table.hpp"
@@ -137,10 +138,12 @@ std::vector<Color> legacy_color_trial(const Graph& g, std::uint64_t seed,
 // serial vs the parallel partitioner, against the transcribed pre-rework
 // engine as the baseline. Rounds are identical by construction (the
 // engine is deterministic); wall-clock is what changes.
-void run_engine_tables() {
+void run_engine_tables(bool quick = false) {
   banner("E6b", "round engine: full sweeps vs sparse activation "
                 "(color trials, largest workload)");
-  const CliqueInstance inst = hard_instance(2048, 16, 21);
+  // --quick (CI perf-smoke): a quarter-size workload and single reps keep
+  // the job under a minute while exercising every engine configuration.
+  const CliqueInstance inst = hard_instance(quick ? 512 : 2048, 16, 21);
   const Graph& g = inst.graph;
   std::cout << "n = " << g.num_nodes() << ", Delta = " << g.max_degree()
             << "\n";
@@ -230,7 +233,7 @@ void run_engine_tables() {
     // Best-of-3 to keep single-run noise below the frontier delta.
     double ms = 0.0;
     AlgorithmResult res;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
       const auto t0 = std::chrono::steady_clock::now();
       res = run_registered("rand", g, req);
       const double rep_ms = std::chrono::duration<double, std::milli>(
@@ -284,6 +287,14 @@ BENCHMARK(BM_RandomizedColoring)->Arg(32)->Arg(128)->Arg(512)
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      // Perf-smoke mode: engine head-to-head only, reduced workload, no
+      // google-benchmark sweeps. Same BENCH_JSON schema as the full run.
+      run_engine_tables(true);
+      return 0;
+    }
+  }
   run_tables();
   run_engine_tables();
   benchmark::Initialize(&argc, argv);

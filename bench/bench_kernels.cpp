@@ -1,0 +1,214 @@
+// Kernel microbench: the deg+1 inner loop (build the neighbor "taken" set,
+// then pick a free color from the node's list) across three palette
+// representations — the word-parallel PaletteSet, the sorted-vector +
+// binary_search scan it replaced, and a std::set oracle — over palette
+// widths {64, 256, 1024, 4096}. Every implementation is cross-checked
+// against the oracle before timing, so a speedup reported here is a
+// speedup on provably identical results.
+//
+// Usage: bench_kernels [--quick]   (--quick cuts iteration counts ~20x for
+// the CI perf-smoke job; the emitted BENCH_JSON schema is unchanged).
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "common/palette.hpp"
+#include "common/rng.hpp"
+
+namespace deltacolor::bench {
+namespace {
+
+struct Workload {
+  int width = 0;
+  std::vector<Color> nbr_colors;  // colors held by the neighborhood (dupes)
+  std::vector<Color> list;        // the node's allowed list, shuffled
+  std::size_t draw = 0;           // raw randomness for the k-th-free pick
+};
+
+Workload make_workload(int width, std::uint64_t seed) {
+  Workload w;
+  w.width = width;
+  std::uint64_t state = seed;
+  auto next = [&]() { return state = hash_mix(state, 11, 13); };
+  // Degree ~ width - 1 like a hard clique: the taken set is dense, which is
+  // exactly the regime the coloring phases spend their rounds in.
+  const int degree = width - 1;
+  w.nbr_colors.reserve(static_cast<std::size_t>(degree));
+  for (int i = 0; i < degree; ++i)
+    w.nbr_colors.push_back(
+        static_cast<Color>(next() % static_cast<unsigned>(width)));
+  for (Color c = 0; c < width; ++c) w.list.push_back(c);
+  // Deterministic shuffle — the list API must not assume sorted lists.
+  for (std::size_t i = w.list.size(); i > 1; --i)
+    std::swap(w.list[i - 1], w.list[next() % i]);
+  w.draw = static_cast<std::size_t>(next());
+  return w;
+}
+
+// --- The three implementations of one deg+1-style step: build the taken
+// --- set, return {first free list color, k-th free list color}.
+
+std::pair<Color, Color> step_palette(const Workload& w, PaletteSet& taken) {
+  taken.reset(w.width);
+  for (const Color c : w.nbr_colors) taken.insert(c);
+  Color first = kNoColor;
+  std::size_t free_count = 0;
+  for (const Color c : w.list) {
+    if (taken.contains(c)) continue;
+    if (first == kNoColor) first = c;
+    ++free_count;
+  }
+  Color kth = kNoColor;
+  if (free_count > 0) {
+    std::size_t k = w.draw % free_count;
+    for (const Color c : w.list) {
+      if (taken.contains(c)) continue;
+      if (k-- == 0) {
+        kth = c;
+        break;
+      }
+    }
+  }
+  return {first, kth};
+}
+
+std::pair<Color, Color> step_sorted_vec(const Workload& w,
+                                        std::vector<Color>& taken) {
+  taken.assign(w.nbr_colors.begin(), w.nbr_colors.end());
+  std::sort(taken.begin(), taken.end());
+  taken.erase(std::unique(taken.begin(), taken.end()), taken.end());
+  auto is_taken = [&](Color c) {
+    return std::binary_search(taken.begin(), taken.end(), c);
+  };
+  Color first = kNoColor;
+  std::size_t free_count = 0;
+  for (const Color c : w.list) {
+    if (is_taken(c)) continue;
+    if (first == kNoColor) first = c;
+    ++free_count;
+  }
+  Color kth = kNoColor;
+  if (free_count > 0) {
+    std::size_t k = w.draw % free_count;
+    for (const Color c : w.list) {
+      if (is_taken(c)) continue;
+      if (k-- == 0) {
+        kth = c;
+        break;
+      }
+    }
+  }
+  return {first, kth};
+}
+
+std::pair<Color, Color> step_std_set(const Workload& w,
+                                     std::set<Color>& taken) {
+  taken.clear();
+  taken.insert(w.nbr_colors.begin(), w.nbr_colors.end());
+  Color first = kNoColor;
+  std::size_t free_count = 0;
+  for (const Color c : w.list) {
+    if (taken.count(c)) continue;
+    if (first == kNoColor) first = c;
+    ++free_count;
+  }
+  Color kth = kNoColor;
+  if (free_count > 0) {
+    std::size_t k = w.draw % free_count;
+    for (const Color c : w.list) {
+      if (taken.count(c)) continue;
+      if (k-- == 0) {
+        kth = c;
+        break;
+      }
+    }
+  }
+  return {first, kth};
+}
+
+template <typename Fn>
+double time_ns_per_op(int iters, Fn&& fn) {
+  // One untimed call warms caches and thread_local state.
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         iters;
+}
+
+int run(bool quick) {
+  banner("KERNELS",
+         "word-parallel PaletteSet vs sorted-vector scan vs std::set");
+  Table table({"width", "palette ns", "sorted-vec ns", "std::set ns",
+               "speedup vs sorted", "speedup vs set"});
+  const int base_iters = quick ? 500 : 10000;
+  bool all_match = true;
+  for (const int width : {64, 256, 1024, 4096}) {
+    // Iterations scale down with width so total work stays bounded.
+    const int iters = std::max(base_iters * 64 / width, quick ? 25 : 500);
+    PaletteSet palette;
+    std::vector<Color> sorted_buf;
+    std::set<Color> set_buf;
+    std::vector<Workload> workloads;
+    for (std::uint64_t s = 0; s < 8; ++s)
+      workloads.push_back(make_workload(width, 1 + s));
+    // Correctness gate: all three implementations agree on every workload.
+    for (const Workload& w : workloads) {
+      const auto a = step_palette(w, palette);
+      const auto b = step_sorted_vec(w, sorted_buf);
+      const auto c = step_std_set(w, set_buf);
+      if (a != b || a != c) {
+        std::cerr << "MISMATCH width=" << width << "\n";
+        all_match = false;
+      }
+    }
+    volatile Color sink = 0;
+    const double ns_palette = time_ns_per_op(iters, [&]() {
+      for (const Workload& w : workloads)
+        sink = step_palette(w, palette).first;
+    });
+    const double ns_sorted = time_ns_per_op(iters, [&]() {
+      for (const Workload& w : workloads)
+        sink = step_sorted_vec(w, sorted_buf).first;
+    });
+    const double ns_set = time_ns_per_op(iters, [&]() {
+      for (const Workload& w : workloads)
+        sink = step_std_set(w, set_buf).first;
+    });
+    (void)sink;
+    table.row(width, ns_palette / 8, ns_sorted / 8, ns_set / 8,
+              ns_sorted / ns_palette, ns_set / ns_palette);
+    BenchJson("KERNELS")
+        .field("width", width)
+        .field("match", all_match)
+        .field("palette_ns", ns_palette / 8)
+        .field("sorted_vec_ns", ns_sorted / 8)
+        .field("std_set_ns", ns_set / 8)
+        .field("speedup_vs_sorted", ns_sorted / ns_palette)
+        .field("speedup_vs_set", ns_set / ns_palette)
+        .print();
+  }
+  table.print();
+  if (!all_match) {
+    std::cerr << "kernel implementations disagree — failing\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltacolor::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  return deltacolor::bench::run(quick);
+}

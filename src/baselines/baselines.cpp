@@ -13,7 +13,7 @@ namespace deltacolor {
 std::vector<Color> greedy_delta_plus_one(const Graph& g, LocalContext& ctx) {
   DefaultPhase scope(ctx, "greedy");
   std::vector<Color> color(g.num_nodes(), kNoColor);
-  std::vector<bool> active(g.num_nodes(), true);
+  NodeMask active(g.num_nodes(), 1);
   const auto lists = uniform_lists(g, g.max_degree() + 1);
   if (g.num_nodes() > 0)
     deg_plus_one_list_color(g, active, lists, color, ctx);
@@ -41,7 +41,7 @@ LayeredBaselineResult layered_loophole_coloring(const Graph& g,
 
   // Simple selection: greedy independent subset of loopholes (centralized
   // stand-in for the ruling set; the baseline's cost driver is layering).
-  std::vector<bool> blocked(n, false);
+  NodeMask blocked(n, 0);
   std::vector<std::size_t> chosen;
   for (std::size_t i = 0; i < loopholes.loopholes.size(); ++i) {
     const auto& vs = loopholes.loopholes[i].vertices;
@@ -82,7 +82,7 @@ LayeredBaselineResult layered_loophole_coloring(const Graph& g,
 
   const auto lists = uniform_lists(g, delta);
   for (int l = max_layer; l >= 1; --l) {
-    std::vector<bool> active(n, false);
+    NodeMask active(n, 0);
     for (NodeId v = 0; v < n; ++v) active[v] = layer[v] == l;
     deg_plus_one_list_color(g, active, lists, res.color, ledger,
                             "baseline-layers");

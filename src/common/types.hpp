@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace deltacolor {
 
@@ -19,6 +20,13 @@ using Color = std::int32_t;
 
 /// Sentinel for "not yet colored".
 inline constexpr Color kNoColor = -1;
+
+/// Per-node boolean mask (active / decided / banned sets). Deliberately a
+/// byte vector, not std::vector<bool>: parallel engine workers write
+/// disjoint *elements*, which must not share a word (vector<bool> packs 8
+/// flags per byte — racy under the multi-worker engine and flagged by
+/// TSan), and byte loads keep the hot membership tests branch-free.
+using NodeMask = std::vector<std::uint8_t>;
 
 /// Sentinel node / edge indices.
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();

@@ -91,12 +91,10 @@ void color_loophole(const Graph& g, const Loophole& l,
   for (std::size_t i = 0; i < vs.size(); ++i) {
     DC_CHECK_MSG(color[vs[i]] == kNoColor,
                  "loophole vertex " << vs[i] << " already colored");
-    std::vector<bool> banned(static_cast<std::size_t>(delta), false);
-    for (const NodeId u : g.neighbors(vs[i]))
-      if (color[u] != kNoColor && color[u] < delta)
-        banned[static_cast<std::size_t>(color[u])] = true;
-    for (Color c = 0; c < delta; ++c)
-      if (!banned[static_cast<std::size_t>(c)]) lists[i].push_back(c);
+    PaletteSet free(delta);
+    free.fill();
+    for (const NodeId u : g.neighbors(vs[i])) free.erase(color[u]);
+    free.for_each([&](Color c) { lists[i].push_back(c); });
   }
   // Fast path (Lemma 7 constructive): a chordless even cycle with lists of
   // size >= 2 is colored directly.
@@ -120,7 +118,7 @@ void color_loophole(const Graph& g, const Loophole& l,
   // vertex first. Lemma 7 guarantees a solution exists for genuine
   // loopholes, and the search space is tiny.
   std::vector<Color> assign(vs.size(), kNoColor);
-  std::vector<bool> done(vs.size(), false);
+  NodeMask done(vs.size(), 0);
   long budget = 4'000'000;
   auto solve = [&](auto&& self) -> bool {
     // Pick the unassigned vertex with the fewest remaining options.
@@ -147,9 +145,9 @@ void color_loophole(const Graph& g, const Loophole& l,
     for (const Color c : best_list) {
       if (--budget < 0) return false;
       assign[static_cast<std::size_t>(best)] = c;
-      done[static_cast<std::size_t>(best)] = true;
+      done[static_cast<std::size_t>(best)] = 1;
       if (self(self)) return true;
-      done[static_cast<std::size_t>(best)] = false;
+      done[static_cast<std::size_t>(best)] = 0;
     }
     return false;
   };
@@ -238,7 +236,7 @@ EasyColoringStats color_easy_and_loopholes(const Graph& g,
   ledger.charge(phase + "-ruling", gl_ledger.total(), 7);
   stats.ruling_domination_radius = rs.domination_radius;
 
-  std::vector<bool> in_chosen_loophole(n, false);
+  NodeMask in_chosen_loophole(n, 0);
   for (std::size_t k = 0; k < live.size(); ++k) {
     if (!rs.in_set[k]) continue;
     ++stats.ruling_loopholes;
@@ -277,7 +275,7 @@ EasyColoringStats color_easy_and_loopholes(const Graph& g,
   // layer-(i-1) neighbor, so each layer is a deg+1-list instance.
   const auto lists = uniform_lists(g, delta);
   for (int i = max_layer; i >= 1; --i) {
-    std::vector<bool> active(n, false);
+    NodeMask active(n, 0);
     for (NodeId v = 0; v < n; ++v)
       active[v] = layer[v] == i && color[v] == kNoColor;
     ScopedPhase layer_phase(lctx, phase + "-layers");

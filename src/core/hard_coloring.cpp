@@ -21,9 +21,9 @@ struct Context {
   const HardColoringParams& params;
   int delta;
 
-  std::vector<int> hard_rank;       // AC index -> dense rank among hard, -1
-  std::vector<int> hard_acs;        // rank -> AC index
-  std::vector<bool> in_heg_clique;  // per AC (by index): member of C_HEG
+  std::vector<int> hard_rank;  // AC index -> dense rank among hard, -1
+  std::vector<int> hard_acs;   // rank -> AC index
+  NodeMask in_heg_clique;      // per AC (by index): member of C_HEG
   int k_eff = 0;
   int levels_eff = 0;
 };
@@ -109,8 +109,8 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
 
   // C_HEG: hard cliques where every member has a neighbor in another hard
   // clique.
-  ctx.in_heg_clique.assign(acd.cliques.size(), false);
-  std::vector<bool> useful(g.num_nodes(), false);
+  ctx.in_heg_clique.assign(acd.cliques.size(), 0);
+  NodeMask useful(g.num_nodes(), 0);
   for (const int c : ctx.hard_acs) {
     int useful_members = 0;
     const auto& members = acd.cliques[static_cast<std::size_t>(c)];
@@ -379,9 +379,9 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
   std::vector<int> incoming(ctx.hard_acs.size(), 0);
   st.f3_edges = 0;
   {
-    std::vector<bool> in_f3(f2.size(), false);
+    NodeMask in_f3(f2.size(), 0);
     for (const auto& result : final_out)
-      for (const int k : result) in_f3[static_cast<std::size_t>(k)] = true;
+      for (const int k : result) in_f3[static_cast<std::size_t>(k)] = 1;
     for (std::size_t k = 0; k < f2.size(); ++k) {
       if (!in_f3[k]) continue;
       ++st.f3_edges;
@@ -409,8 +409,8 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     int clique_rank = -1;
   };
   std::vector<Triad> triads;
-  std::vector<bool> used(g.num_nodes(), false);
-  std::vector<bool> has_triad(ctx.hard_acs.size(), false);
+  NodeMask used(g.num_nodes(), 0);
+  NodeMask has_triad(ctx.hard_acs.size(), 0);
   for (std::size_t r = 0; r < ctx.hard_acs.size(); ++r) {
     if (final_out[r].size() < 2) continue;
     const OrientedEdge& e1 = f2[static_cast<std::size_t>(final_out[r][0])];
@@ -426,9 +426,9 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
                  "slack pair adjacent — Lemma 9.3 should have excluded this");
     for (const NodeId x : {t.slack, t.pair_in, t.pair_out}) {
       DC_CHECK_MSG(!used[x], "slack triads overlap at vertex " << x);
-      used[x] = true;
+      used[x] = 1;
     }
-    has_triad[r] = true;
+    has_triad[r] = 1;
     triads.push_back(t);
   }
   st.num_triads = static_cast<int>(triads.size());
@@ -453,7 +453,7 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     triad_of[triads[t].pair_in] = static_cast<int>(t);
     triad_of[triads[t].pair_out] = static_cast<int>(t);
   }
-  std::vector<bool> dropped(triads.size(), false);
+  NodeMask dropped(triads.size(), 0);
   auto gv_degree = [&](std::size_t t) {
     std::vector<int> nbrs;
     for (const NodeId x : {triads[t].pair_in, triads[t].pair_out}) {
@@ -480,13 +480,13 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     for (std::size_t t = 0; t < triads.size(); ++t) {
       if (dropped[t]) continue;
       if (gv_degree(t) + 1 > palette_size) {
-        dropped[t] = true;
-        has_triad[static_cast<std::size_t>(triads[t].clique_rank)] = false;
+        dropped[t] = 1;
+        has_triad[static_cast<std::size_t>(triads[t].clique_rank)] = 0;
         triad_of[triads[t].pair_in] = -1;
         triad_of[triads[t].pair_out] = -1;
         for (const NodeId x :
              {triads[t].slack, triads[t].pair_in, triads[t].pair_out})
-          used[x] = false;
+          used[x] = 0;
         ++st.dropped_triads;
         again = true;
       }
@@ -522,22 +522,25 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
                         g.id(triads[live[i]].pair_out));
     gv.set_ids(std::move(ids));
 
-    std::vector<std::vector<Color>> lists(live.size());
+    ColorLists lists;
+    lists.reserve(live.size(),
+                  live.size() * static_cast<std::size_t>(ctx.delta));
+    PaletteSet avail(ctx.delta);
     for (std::size_t i = 0; i < live.size(); ++i) {
       // Palette minus the colors already present on real neighbors of
       // either pair member (relevant in the randomized post-shattering
       // variant where T-node pairs are pre-colored).
-      std::vector<bool> banned(static_cast<std::size_t>(ctx.delta), false);
+      avail.reset(ctx.delta);
+      avail.fill();
       const std::size_t t = live[i];
       for (const NodeId x : {triads[t].pair_in, triads[t].pair_out})
-        for (const NodeId y : g.neighbors(x))
-          if (color[y] != kNoColor && color[y] < ctx.delta)
-            banned[static_cast<std::size_t>(color[y])] = true;
+        for (const NodeId y : g.neighbors(x)) avail.erase(color[y]);
       for (Color c = params.palette_floor; c < ctx.delta; ++c)
-        if (!banned[static_cast<std::size_t>(c)]) lists[i].push_back(c);
+        if (avail.contains(c)) lists.push(c);
+      lists.close_list();
     }
     std::vector<Color> gv_color(live.size(), kNoColor);
-    std::vector<bool> active(live.size(), true);
+    NodeMask active(live.size(), 1);
     RoundLedger gv_ledger;
     if (!live.empty()) {
       LocalContext gv_ctx(gv_ledger, lctx.engine(), params.seed);
@@ -569,9 +572,9 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
 
   // --------------------------------------------------------------- Phase 4B
   // Two deg+1-list instances (Lemma 17).
-  std::vector<bool> second_wave(g.num_nodes(), false);
+  NodeMask second_wave(g.num_nodes(), 0);
   for (std::size_t t = 0; t < triads.size(); ++t)
-    if (!dropped[t]) second_wave[triads[t].slack] = true;
+    if (!dropped[t]) second_wave[triads[t].slack] = 1;
   // Cliques without a triad designate one member with a non-hard neighbor
   // (Type II: the adjacent easy clique is colored later and grants slack).
   for (std::size_t r = 0; r < ctx.hard_acs.size(); ++r) {
@@ -592,14 +595,16 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     DC_CHECK_MSG(designated != kNoNode,
                  "triadless hard clique " << ctx.hard_acs[r]
                                           << " has no easy-adjacent member");
-    second_wave[designated] = true;
+    second_wave[designated] = 1;
   }
 
-  const auto full_lists = params.node_lists.empty()
-                              ? uniform_lists(g, ctx.delta)
-                              : params.node_lists;
+  ColorLists uniform_storage;
+  if (params.node_lists.empty())
+    uniform_storage = uniform_lists(g, ctx.delta);
+  const ColorLists& full_lists =
+      params.node_lists.empty() ? uniform_storage : params.node_lists;
   {
-    std::vector<bool> active(g.num_nodes(), false);
+    NodeMask active(g.num_nodes(), 0);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = hardness.in_hard[v] && color[v] == kNoColor &&
                   !second_wave[v];
@@ -607,7 +612,7 @@ HardColoringOutcome color_hard_cliques(const Graph& g, const Acd& acd,
     deg_plus_one_list_color(g, active, full_lists, color, lctx);
   }
   {
-    std::vector<bool> active(g.num_nodes(), false);
+    NodeMask active(g.num_nodes(), 0);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = second_wave[v] && color[v] == kNoColor;
     ScopedPhase phase(lctx, "phase4b-rest");

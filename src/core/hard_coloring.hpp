@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "acd/acd.hpp"
+#include "common/palette.hpp"
 #include "core/hardness.hpp"
 #include "core/loopholes.hpp"
 #include "core/trace.hpp"
@@ -67,8 +68,9 @@ struct HardColoringParams {
   bool allow_useless = false;
   /// Optional per-node allowed lists for the Phase 4B instances (empty =
   /// the full palette {0..Delta-1}). The randomized variant bans colors of
-  /// neighbors outside the component here.
-  std::vector<std::vector<Color>> node_lists;
+  /// neighbors outside the component here. Flat CSR storage; nested
+  /// vectors convert implicitly.
+  ColorLists node_lists;
   /// Optional artifact capture (F1/F2/F3, triads, pair colors).
   PipelineTrace* trace = nullptr;
 };

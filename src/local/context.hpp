@@ -53,6 +53,12 @@ class LocalContext {
   const EngineOptions& engine() const { return engine_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// The calling worker's scratch arena (reset by the engine at every
+  /// chunk boundary — see arena.hpp for the ownership contract). Step
+  /// kernels open a ScratchArena::Frame on it instead of keeping
+  /// thread_local vectors.
+  ScratchArena& scratch() const { return ScratchArena::local(); }
+
   /// Engine options for transitions keyed on the global round number:
   /// frontier mode is unsound for those (a quiet node must still act when
   /// its round slot arrives), so only the worker count is kept.

@@ -1,6 +1,7 @@
 #include "local/message_passing.hpp"
 
 #include "common/check.hpp"
+#include "common/palette.hpp"
 #include "common/rng.hpp"
 #include "local/sync_runner.hpp"
 
@@ -133,16 +134,18 @@ std::vector<Color> color_trial_message_passing(const Graph& g,
         s.trial = static_cast<Color>(__builtin_ctzll(free_mask));
         return s;
       }
-      std::vector<bool> used(static_cast<std::size_t>(palette), false);
+      // Wide palettes (Delta >= 64): the same mask dance on a multi-word
+      // PaletteSet. sample_free enumerates set bits ascending — the same
+      // order the old materialized free-vector had — so the drawn trial is
+      // bit-identical, without the per-step heap allocations.
+      thread_local PaletteSet free_set;
+      free_set.reset(palette);
+      free_set.fill();
       for (const NodeId u : view.neighbors()) {
         const Color cu = view.neighbor(u).color;
-        if (cu != kNoColor) used[static_cast<std::size_t>(cu)] = true;
+        if (cu != kNoColor) free_set.erase(cu);
       }
-      std::vector<Color> free;
-      for (Color c = 0; c < palette; ++c)
-        if (!used[static_cast<std::size_t>(c)]) free.push_back(c);
-      DC_CHECK(!free.empty());
-      s.trial = free[draw % free.size()];
+      s.trial = free_set.sample_free(draw);  // checked non-empty inside
       return s;
     }
     // Commit phase: keep the trial unless a neighbor tried or holds it.

@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/graph.hpp"
@@ -294,15 +295,20 @@ class SyncRunner {
   }
 
   /// Runs fn over contiguous chunks of [0, size), one per worker; serial
-  /// (and pool-free) when options_.num_threads == 1.
+  /// (and pool-free) when options_.num_threads == 1. Each worker's
+  /// ScratchArena is reset before its chunk: round-local scratch carved by
+  /// step kernels never survives into the next round (arena.hpp contract),
+  /// and the reset is free once arenas are warm.
   template <typename ChunkFn>
   void each_chunk(std::size_t size, ChunkFn&& fn) {
     if (pool_ == nullptr || pool_->num_workers() == 1) {
+      ScratchArena::local().reset();
       fn(0, size);
       return;
     }
     pool_->for_range(0, size,
                      [&](int, std::size_t begin, std::size_t end) {
+                       ScratchArena::local().reset();
                        fn(begin, end);
                      });
   }

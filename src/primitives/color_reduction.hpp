@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -67,15 +68,26 @@ LinialResult kw_reduce(const ViewT& view, std::vector<Color> color,
       const int offset = hi - 1 - v.round();
       if (c % group_size != offset) return c;
       const Color group_base = c - offset;
-      bool used[1024];
-      for (int i = 0; i < target; ++i) used[i] = false;
+      // Word-parallel "first free group-local color": mark neighbor-held
+      // offsets in a fixed 16-word bitset, then ctz the first word with a
+      // clear bit below `target` — the same index the old per-bool linear
+      // scan produced, at 64 colors per iteration.
+      std::uint64_t used[1024 / 64];
+      const int words = (target + 63) / 64;
+      for (int w = 0; w < words; ++w) used[w] = 0;
       v.for_each_neighbor([&](NodeId u) {
         const Color cu = v.neighbor(u);
         if (cu >= group_base && cu < group_base + target)
-          used[cu - group_base] = true;
+          used[(cu - group_base) >> 6] |=
+              std::uint64_t{1} << ((cu - group_base) & 63);
       });
-      for (int i = 0; i < target; ++i)
-        if (!used[i]) return group_base + i;
+      for (int w = 0; w < words; ++w) {
+        std::uint64_t free_mask = ~used[w];
+        if (w == words - 1 && target % 64 != 0)
+          free_mask &= (std::uint64_t{1} << (target % 64)) - 1;
+        if (free_mask != 0)
+          return group_base + w * 64 + __builtin_ctzll(free_mask);
+      }
       // Worker threads must not throw (ThreadPool does not propagate);
       // flag and re-check on the main thread after the stage.
       failed.store(true, std::memory_order_relaxed);

@@ -15,7 +15,7 @@ namespace {
 // edges and even self-parallel structures are fine since everything is
 // indexed by edge position.
 void halve(int num_nodes, const std::vector<std::pair<int, int>>& edges,
-           const std::vector<bool>& active, std::vector<int>& side,
+           const NodeMask& active, std::vector<int>& side,
            std::uint64_t seed, int segment_length) {
   const std::size_t m = edges.size();
   // Edge-end pairing per node: consecutive active incident edge-ends pair
@@ -40,7 +40,7 @@ void halve(int num_nodes, const std::vector<std::pair<int, int>>& edges,
   auto other_end = [](std::size_t end) { return end ^ std::size_t{1}; };
 
   // Walk extraction: each active edge lies on exactly one path or cycle.
-  std::vector<bool> visited(m, false);
+  NodeMask visited(m, 0);
   std::vector<std::size_t> walk;  // edge indices in walk order
   for (std::size_t start = 0; start < m; ++start) {
     if (!active[start] || visited[start]) continue;
@@ -62,7 +62,7 @@ void halve(int num_nodes, const std::vector<std::pair<int, int>>& edges,
     while (true) {
       const std::size_t e = enter / 2;
       walk.push_back(e);
-      visited[e] = true;
+      visited[e] = 1;
       const std::size_t exit = other_end(enter);
       const std::size_t next = partner[exit];
       if (next == kNone || visited[next / 2]) break;
@@ -96,7 +96,7 @@ DegreeSplitResult degree_split_edges(
   res.num_parts = 1 << levels;
   res.part.assign(edges.size(), 0);
 
-  std::vector<bool> active(edges.size());
+  NodeMask active(edges.size(), 0);
   std::vector<int> side(edges.size(), 0);
   for (int level = 0; level < levels; ++level) {
     // Split every current part independently; edges of part p move to

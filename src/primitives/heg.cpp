@@ -19,8 +19,8 @@ namespace {
 std::vector<int> find_augmenting_path(const Hypergraph& h,
                                       const std::vector<int>& grabber,
                                       int source, int depth_cap,
-                                      const std::vector<bool>& blocked_vertex,
-                                      const std::vector<bool>& blocked_edge) {
+                                      const NodeMask& blocked_vertex,
+                                      const NodeMask& blocked_edge) {
   const int num_edges = static_cast<int>(h.edges.size());
   std::vector<int> prev_vertex_of_edge(num_edges, -2);  // -2 = unvisited
   std::vector<int> prev_edge_of_vertex(h.num_vertices, -2);
@@ -121,8 +121,8 @@ HegResult solve_heg(const Hypergraph& h, LocalContext& ctx) {
       res.complete = true;
       break;
     }
-    std::vector<bool> blocked_vertex(h.num_vertices, false);
-    std::vector<bool> blocked_edge(num_edges, false);
+    NodeMask blocked_vertex(h.num_vertices, 0);
+    NodeMask blocked_edge(num_edges, 0);
     bool any = false;
     for (const int v : free_vertices) {
       if (blocked_vertex[v]) continue;
@@ -131,8 +131,8 @@ HegResult solve_heg(const Hypergraph& h, LocalContext& ctx) {
       if (path.empty()) continue;
       apply_augmenting_path(res.grabbed_edge, res.grabber, path);
       for (std::size_t i = 0; i < path.size(); i += 2) {
-        blocked_vertex[path[i]] = true;
-        blocked_edge[path[i + 1]] = true;
+        blocked_vertex[path[i]] = 1;
+        blocked_edge[path[i + 1]] = 1;
       }
       any = true;
     }

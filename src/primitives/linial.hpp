@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "graph/graph.hpp"
 #include "graph/graph_view.hpp"
@@ -85,25 +86,32 @@ LinialResult linial_reduce(const ViewT& view,
     const int d = stage.d;
     // Decompose the closed neighborhood's colors into base-q coefficient
     // vectors (the "message" each neighbor publishes is its polynomial).
-    thread_local std::vector<std::uint32_t> self_coeff;
-    thread_local std::vector<std::uint32_t> nbr_coeff;
-    self_coeff.assign(static_cast<std::size_t>(d) + 1, 0);
+    // Scratch lives in the worker's round-local arena (one frame per
+    // step): degree() bounds the neighbor count, so the whole table is
+    // carved up front and the round allocates nothing once arenas are
+    // warm.
+    const std::size_t terms = static_cast<std::size_t>(d) + 1;
+    ScratchArena::Frame frame(ScratchArena::local());
+    std::uint32_t* self_coeff = frame.alloc<std::uint32_t>(terms);
+    std::uint32_t* nbr_coeff = frame.alloc<std::uint32_t>(
+        (static_cast<std::size_t>(v.degree()) + 1) * terms);
     {
       std::uint64_t c = v.self();
-      for (int i = 0; i <= d; ++i) {
-        self_coeff[static_cast<std::size_t>(i)] =
-            static_cast<std::uint32_t>(c % q);
+      for (std::size_t i = 0; i < terms; ++i) {
+        self_coeff[i] = static_cast<std::uint32_t>(c % q);
         c /= q;
       }
     }
-    nbr_coeff.clear();
+    std::size_t nbrs = 0;
     v.for_each_neighbor([&](NodeId u) {
       if (u == v.node()) return;
       std::uint64_t c = v.neighbor(u);
-      for (int i = 0; i <= d; ++i) {
-        nbr_coeff.push_back(static_cast<std::uint32_t>(c % q));
+      std::uint32_t* out = nbr_coeff + nbrs * terms;
+      for (std::size_t i = 0; i < terms; ++i) {
+        out[i] = static_cast<std::uint32_t>(c % q);
         c /= q;
       }
+      ++nbrs;
     });
     const auto eval = [&](const std::uint32_t* a, std::uint64_t x) {
       std::uint64_t acc = 0;
@@ -112,14 +120,11 @@ LinialResult linial_reduce(const ViewT& view,
     };
     // Scan evaluation points until one separates this node from every
     // neighbor; guaranteed to exist since bad points number <= Delta*d < q.
-    const std::size_t nbrs = nbr_coeff.size() / (static_cast<std::size_t>(d) + 1);
     for (std::uint64_t x = 0; x < q; ++x) {
-      const std::uint64_t mine = eval(self_coeff.data(), x);
+      const std::uint64_t mine = eval(self_coeff, x);
       bool ok = true;
       for (std::size_t j = 0; j < nbrs && ok; ++j) {
-        if (eval(&nbr_coeff[j * (static_cast<std::size_t>(d) + 1)], x) ==
-            mine)
-          ok = false;
+        if (eval(nbr_coeff + j * terms, x) == mine) ok = false;
       }
       if (ok) return x * q + mine;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -14,24 +15,26 @@ namespace deltacolor {
 
 namespace {
 
-// Colors held by neighbors of v (via engine view `nv`), sorted — the
-// exclusion set for v's list. Thread-local scratch: called from pool
-// workers.
-template <typename ViewArg>
-const std::vector<Color>& taken_colors(const ViewArg& nv) {
-  thread_local std::vector<Color> taken;
-  taken.clear();
-  nv.for_each_neighbor([&](NodeId u) {
-    if (nv.neighbor(u) != kNoColor) taken.push_back(nv.neighbor(u));
-  });
-  std::sort(taken.begin(), taken.end());
+// Bitset width covering every color a sweep can observe: list entries plus
+// the pre-existing partial coloring (all colors assigned *during* a sweep
+// come from the lists, so the bound is sweep-invariant).
+int palette_width(const ColorLists& lists, const std::vector<Color>& color) {
+  Color mx = lists.max_color();
+  for (const Color c : color) mx = std::max(mx, c);
+  return static_cast<int>(mx) + 1;
+}
+
+// The calling worker's exclusion bitset; reset(width) per step reuses the
+// backing words, so the sweep is allocation-free once warm.
+PaletteSet& taken_set() {
+  thread_local PaletteSet taken;
   return taken;
 }
 
 // Colors of already-colored neighbors of v removed from v's list
-// (precondition checking only; the engine sweeps use taken_colors).
+// (precondition checking only; the engine sweeps use the PaletteSet).
 std::vector<Color> effective_list(const Graph& g, NodeId v,
-                                  const std::vector<Color>& list,
+                                  std::span<const Color> list,
                                   const std::vector<Color>& color) {
   std::vector<Color> taken;
   taken.reserve(g.degree(v));
@@ -45,8 +48,8 @@ std::vector<Color> effective_list(const Graph& g, NodeId v,
   return eff;
 }
 
-void check_precondition(const Graph& g, const std::vector<bool>& active,
-                        const std::vector<std::vector<Color>>& lists,
+void check_precondition(const Graph& g, const NodeMask& active,
+                        const ColorLists& lists,
                         const std::vector<Color>& color) {
   DC_CHECK(active.size() == g.num_nodes());
   DC_CHECK(lists.size() == g.num_nodes());
@@ -68,8 +71,8 @@ void check_precondition(const Graph& g, const std::vector<bool>& active,
 
 }  // namespace
 
-int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
-                            const std::vector<std::vector<Color>>& lists,
+int deg_plus_one_list_color(const Graph& g, const NodeMask& active,
+                            const ColorLists& lists,
                             std::vector<Color>& color, LocalContext& ctx) {
   DefaultPhase scope(ctx, "deg+1-list");
   check_precondition(g, active, lists, color);
@@ -90,7 +93,11 @@ int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
   const LinialResult lin = schedule_coloring(sub, sub_ctx);
 
   // Class sweep on the *host* graph (exclusions come from all neighbors,
-  // active or not): engine round t colors schedule class t.
+  // active or not): engine round t colors schedule class t. The exclusion
+  // set is a word-parallel bitset; scanning the node's list in *its own
+  // order* against it picks the same color the old sort+binary_search code
+  // did, for sorted and unsorted lists alike.
+  const int width = palette_width(lists, color);
   std::vector<Color> class_of(g.num_nodes(), -1);
   for (NodeId i = 0; i < sub.num_nodes(); ++i)
     class_of[sub.orig_of(i)] = lin.color[i];
@@ -98,9 +105,14 @@ int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
   std::atomic<bool> failed{false};
   const auto step = [&](const auto& v) -> Color {
     if (class_of[v.node()] != v.round()) return v.self();
-    const std::vector<Color>& taken = taken_colors(v);
+    PaletteSet& taken = taken_set();
+    taken.reset(width);
+    v.for_each_neighbor([&](NodeId u) {
+      const Color cu = v.neighbor(u);
+      if (cu != kNoColor) taken.insert(cu);
+    });
     for (const Color c : lists[v.node()])
-      if (!std::binary_search(taken.begin(), taken.end(), c)) return c;
+      if (!taken.contains(c)) return c;
     failed.store(true, std::memory_order_relaxed);
     return v.self();
   };
@@ -127,13 +139,14 @@ struct TrialState {
 
 }  // namespace
 
-int deg_plus_one_list_color_randomized(
-    const Graph& g, const std::vector<bool>& active,
-    const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
-    LocalContext& ctx) {
+int deg_plus_one_list_color_randomized(const Graph& g, const NodeMask& active,
+                                       const ColorLists& lists,
+                                       std::vector<Color>& color,
+                                       LocalContext& ctx) {
   DefaultPhase scope(ctx, "deg+1-list-rand");
   check_precondition(g, active, lists, color);
   const std::uint64_t seed = ctx.seed();
+  const int width = palette_width(lists, color);
   const int max_iterations = 64 * (32 - __builtin_clz(g.num_nodes() + 2));
 
   // One iteration = 2 engine rounds: trial (2t) then commit (2t+1). A
@@ -148,26 +161,36 @@ int deg_plus_one_list_color_randomized(
     TrialState s = v.self();
     if (!active[v.node()] || s.color != kNoColor) return s;
     if (v.round() % 2 == 0) {
-      // Trial: sample uniformly from the effective list.
-      thread_local std::vector<Color> taken;
-      taken.clear();
+      // Trial: sample uniformly from the effective list. Two passes over
+      // the node's flat list against the taken bitset — count the free
+      // entries (in list order, duplicates preserved), then select the
+      // drawn one — reproduce exactly the old materialized eff[draw % k]
+      // without touching the heap.
+      PaletteSet& taken = taken_set();
+      taken.reset(width);
       v.for_each_neighbor([&](NodeId u) {
-        if (v.neighbor(u).color != kNoColor)
-          taken.push_back(v.neighbor(u).color);
+        const Color cu = v.neighbor(u).color;
+        if (cu != kNoColor) taken.insert(cu);
       });
-      std::sort(taken.begin(), taken.end());
-      thread_local std::vector<Color> eff;
-      eff.clear();
-      for (const Color c : lists[v.node()])
-        if (!std::binary_search(taken.begin(), taken.end(), c))
-          eff.push_back(c);
-      if (eff.empty()) {
+      const std::span<const Color> list = lists[v.node()];
+      std::size_t eff = 0;
+      for (const Color c : list)
+        if (!taken.contains(c)) ++eff;
+      if (eff == 0) {
         failed.store(true, std::memory_order_relaxed);
         return s;
       }
-      s.trial = eff[hash_mix(seed, v.node(),
-                             static_cast<std::uint64_t>(v.round() / 2)) %
-                    eff.size()];
+      std::size_t k = hash_mix(seed, v.node(),
+                               static_cast<std::uint64_t>(v.round() / 2)) %
+                      eff;
+      for (const Color c : list) {
+        if (taken.contains(c)) continue;
+        if (k == 0) {
+          s.trial = c;
+          break;
+        }
+        --k;
+      }
       return s;
     }
     // Commit: keep the trial if no neighbor tried the same color.
@@ -198,11 +221,8 @@ int deg_plus_one_list_color_randomized(
   return iterations;
 }
 
-std::vector<std::vector<Color>> uniform_lists(const Graph& g,
-                                              int num_colors) {
-  std::vector<Color> palette(num_colors);
-  for (int c = 0; c < num_colors; ++c) palette[c] = c;
-  return std::vector<std::vector<Color>>(g.num_nodes(), palette);
+ColorLists uniform_lists(const Graph& g, int num_colors) {
+  return ColorLists::uniform(g.num_nodes(), num_colors);
 }
 
 }  // namespace deltacolor

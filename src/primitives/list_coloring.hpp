@@ -10,45 +10,48 @@
 //
 // The deterministic schedule is computed on a lazy InducedSubgraphView of
 // the active nodes (the subgraph is never materialized); both variants step
-// their sweeps through the SyncRunner engine via LocalContext.
+// their sweeps through the SyncRunner engine via LocalContext. Lists live
+// in flat CSR storage (ColorLists) and the per-step exclusion set is a
+// word-parallel PaletteSet (palette.hpp) — the steady-state sweep performs
+// no heap allocation and no sorting.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/palette.hpp"
 #include "graph/graph.hpp"
 #include "local/context.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
 
-/// Deterministically colors all nodes with active[v] == true. `color` holds
+/// Deterministically colors all nodes with active[v] != 0. `color` holds
 /// the global partial coloring and is extended in place; `lists[v]` is the
 /// allowed palette of active node v (entries for inactive nodes ignored).
 /// The deg+1 precondition is checked (throws on violation). Returns the
 /// number of LOCAL rounds consumed (also charged to the context's phase,
 /// default "deg+1-list").
-int deg_plus_one_list_color(const Graph& g, const std::vector<bool>& active,
-                            const std::vector<std::vector<Color>>& lists,
+int deg_plus_one_list_color(const Graph& g, const NodeMask& active,
+                            const ColorLists& lists,
                             std::vector<Color>& color, LocalContext& ctx);
 
 /// Randomized variant: active nodes repeatedly try a uniform color from
 /// their remaining list; a trial sticks if no neighbor tried or holds the
 /// same color. Terminates w.h.p. in O(log n) rounds under the same deg+1
 /// precondition. Randomness comes from ctx.seed().
-int deg_plus_one_list_color_randomized(
-    const Graph& g, const std::vector<bool>& active,
-    const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
-    LocalContext& ctx);
+int deg_plus_one_list_color_randomized(const Graph& g, const NodeMask& active,
+                                       const ColorLists& lists,
+                                       std::vector<Color>& color,
+                                       LocalContext& ctx);
 
 /// Builds the default (Delta+1)-coloring lists {0..Delta} for every node.
-std::vector<std::vector<Color>> uniform_lists(const Graph& g, int num_colors);
+ColorLists uniform_lists(const Graph& g, int num_colors);
 
 // ---- RoundLedger-based compatibility wrappers (pre-LocalContext API) ----
 
-inline int deg_plus_one_list_color(const Graph& g,
-                                   const std::vector<bool>& active,
-                                   const std::vector<std::vector<Color>>& lists,
+inline int deg_plus_one_list_color(const Graph& g, const NodeMask& active,
+                                   const ColorLists& lists,
                                    std::vector<Color>& color,
                                    RoundLedger& ledger,
                                    const std::string& phase = "deg+1-list") {
@@ -58,9 +61,8 @@ inline int deg_plus_one_list_color(const Graph& g,
 }
 
 inline int deg_plus_one_list_color_randomized(
-    const Graph& g, const std::vector<bool>& active,
-    const std::vector<std::vector<Color>>& lists, std::vector<Color>& color,
-    std::uint64_t seed, RoundLedger& ledger,
+    const Graph& g, const NodeMask& active, const ColorLists& lists,
+    std::vector<Color>& color, std::uint64_t seed, RoundLedger& ledger,
     const std::string& phase = "deg+1-list-rand") {
   LocalContext ctx(ledger, {}, seed);
   ScopedPhase scope(ctx, phase);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "graph/checker.hpp"
@@ -215,22 +216,26 @@ std::vector<bool> maximal_matching_randomized(const Graph& g,
     if (v.round() % 2 == 0) {  // propose to a random free neighbor
       s.proposal = kNoNode;
       s.proposal_edge = kNoEdge;
-      thread_local std::vector<NodeId> free_nbrs;
-      thread_local std::vector<EdgeId> free_edges;
-      free_nbrs.clear();
-      free_edges.clear();
       const auto nbrs = v.neighbors();
       const auto inc = g.incident_edges(v.node());
+      // Candidate arrays live in the worker's round-local scratch arena
+      // (degree-bounded, frame-reclaimed per node) — no heap traffic in
+      // the steady-state round.
+      ScratchArena::Frame frame(ScratchArena::local());
+      NodeId* free_nbrs = frame.alloc<NodeId>(nbrs.size());
+      EdgeId* free_edges = frame.alloc<EdgeId>(nbrs.size());
+      std::size_t free_count = 0;
       for (std::size_t k = 0; k < nbrs.size(); ++k) {
         if (!v.neighbor(nbrs[k]).matched) {
-          free_nbrs.push_back(nbrs[k]);
-          free_edges.push_back(inc[k]);
+          free_nbrs[free_count] = nbrs[k];
+          free_edges[free_count] = inc[k];
+          ++free_count;
         }
       }
-      if (free_nbrs.empty()) return s;
+      if (free_count == 0) return s;
       const std::size_t pick =
           hash_mix(seed, v.id(), static_cast<std::uint64_t>(v.round())) %
-          free_nbrs.size();
+          free_count;
       s.proposal = free_nbrs[pick];
       s.proposal_edge = free_edges[pick];
       return s;

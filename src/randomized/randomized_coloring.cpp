@@ -30,18 +30,17 @@ struct Triad {
 };
 
 // Marks all vertices within `radius` of v.
-void mark_ball(const Graph& g, NodeId v, int radius,
-               std::vector<bool>& mark) {
+void mark_ball(const Graph& g, NodeId v, int radius, NodeMask& mark) {
   std::queue<std::pair<NodeId, int>> q;
   q.emplace(v, 0);
-  mark[v] = true;
+  mark[v] = 1;
   while (!q.empty()) {
     const auto [x, d] = q.front();
     q.pop();
     if (d == radius) continue;
     for (const NodeId y : g.neighbors(x)) {
       if (!mark[y]) {
-        mark[y] = true;
+        mark[y] = 1;
         q.emplace(y, d + 1);
       }
     }
@@ -102,13 +101,13 @@ RandomizedResult randomized_delta_color(const Graph& g,
   // pairs are colored kTnodeColor, accepted triads keep distance >=
   // `spacing` from each other.
   std::vector<Triad> triad_of_clique(acd.cliques.size());
-  std::vector<bool> placed(acd.cliques.size(), false);
+  NodeMask placed(acd.cliques.size(), 0);
   // Slack vertices must stay uncolored and unshared; future *pair*
   // vertices keep distance `spacing` from accepted pairs (the paper's b,
   // limiting useless vertices per clique). Blocking whole balls around all
   // three triad vertices would forbid neighboring cliques entirely.
-  std::vector<bool> slack_used(g.num_nodes(), false);
-  std::vector<bool> pair_blocked(g.num_nodes(), false);
+  NodeMask slack_used(g.num_nodes(), 0);
+  NodeMask pair_blocked(g.num_nodes(), 0);
   auto phase_t0 = std::chrono::steady_clock::now();
   const auto end_phase = [&](const char* phase) {
     res.ledger.charge_time(
@@ -157,8 +156,8 @@ RandomizedResult randomized_delta_color(const Graph& g,
         res.color[v] = kTnodeColor;
         res.color[w] = kTnodeColor;
         triad_of_clique[static_cast<std::size_t>(c)] = Triad{u, v, w};
-        placed[static_cast<std::size_t>(c)] = true;
-        slack_used[u] = true;
+        placed[static_cast<std::size_t>(c)] = 1;
+        slack_used[u] = 1;
         mark_ball(g, v, options.spacing, pair_blocked);
         mark_ball(g, w, options.spacing, pair_blocked);
         break;
@@ -250,18 +249,18 @@ RandomizedResult randomized_delta_color(const Graph& g,
 
       // Pseudo-loopholes: slack through an uncolored outside neighbor or
       // two same-colored neighbors (T-node pairs seen twice).
-      std::vector<bool> pseudo(nn, false);
+      NodeMask pseudo(nn, 0);
       for (NodeId i = 0; i < nn; ++i) {
         const NodeId v = sub.orig_of[i];
         int tnode_nbrs = 0;
         for (const NodeId y : g.neighbors(v)) {
           if (sub.sub_of[y] != kNoNode) continue;
           if (res.color[y] == kNoColor)
-            pseudo[i] = true;
+            pseudo[i] = 1;
           else if (res.color[y] == kTnodeColor)
             ++tnode_nbrs;
         }
-        if (tnode_nbrs >= 2) pseudo[i] = true;
+        if (tnode_nbrs >= 2) pseudo[i] = 1;
       }
 
       // Component-local ACD: group the component's vertices by their
@@ -296,16 +295,19 @@ RandomizedResult randomized_delta_color(const Graph& g,
         ishard ? ++hard_c.num_hard : ++hard_c.num_easy;
 
       // Per-node lists: the full palette minus colors of outside
-      // neighbors (only kTnodeColor can be present at this stage).
-      std::vector<std::vector<Color>> lists(nn);
+      // neighbors (only kTnodeColor can be present at this stage). Built
+      // directly into flat CSR storage.
+      ColorLists lists;
+      lists.reserve(nn, static_cast<std::size_t>(nn) *
+                            static_cast<std::size_t>(delta));
+      PaletteSet avail(delta);
       for (NodeId i = 0; i < nn; ++i) {
-        std::vector<bool> banned(static_cast<std::size_t>(delta), false);
+        avail.reset(delta);
+        avail.fill();
         for (const NodeId y : g.neighbors(sub.orig_of[i]))
-          if (sub.sub_of[y] == kNoNode && res.color[y] != kNoColor &&
-              res.color[y] < delta)
-            banned[static_cast<std::size_t>(res.color[y])] = true;
-        for (Color c = 0; c < delta; ++c)
-          if (!banned[static_cast<std::size_t>(c)]) lists[i].push_back(c);
+          if (sub.sub_of[y] == kNoNode) avail.erase(res.color[y]);
+        avail.for_each([&](Color c) { lists.push(c); });
+        lists.close_list();
       }
 
       std::vector<Color> comp_color(nn, kNoColor);
@@ -348,7 +350,7 @@ RandomizedResult randomized_delta_color(const Graph& g,
           DC_CHECK_MSG(comp_color[i] != kNoColor || layer[i] != -1,
                        "component vertex unreachable from any slack source");
         for (int l = max_layer; l >= 0; --l) {
-          std::vector<bool> active(nn, false);
+          NodeMask active(nn, 0);
           for (NodeId i = 0; i < nn; ++i)
             active[i] = layer[i] == l && comp_color[i] == kNoColor;
           ScopedPhase phase(comp_ctx, "rand-component-layers");
@@ -374,14 +376,14 @@ RandomizedResult randomized_delta_color(const Graph& g,
   // loopholes (Algorithm 3).
   const auto full_lists = uniform_lists(g, delta);
   for (int l = options.layer_depth; l >= 1; --l) {
-    std::vector<bool> active(g.num_nodes(), false);
+    NodeMask active(g.num_nodes(), 0);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = layer[v] == l && res.color[v] == kNoColor;
     ScopedPhase phase(lctx, "rand-postprocessing");
     deg_plus_one_list_color(g, active, full_lists, res.color, lctx);
   }
   {
-    std::vector<bool> active(g.num_nodes(), false);
+    NodeMask active(g.num_nodes(), 0);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       active[v] = layer[v] == 0 && res.color[v] == kNoColor;
     ScopedPhase phase(lctx, "rand-postprocessing");

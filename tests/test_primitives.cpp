@@ -94,7 +94,7 @@ TEST(DegPlusOne, DeltaPlusOneColoringEverywhere) {
   for (const Graph& g : test_graphs()) {
     RoundLedger ledger;
     std::vector<Color> color(g.num_nodes(), kNoColor);
-    std::vector<bool> active(g.num_nodes(), true);
+    NodeMask active(g.num_nodes(), 1);
     const auto lists = uniform_lists(g, g.max_degree() + 1);
     deg_plus_one_list_color(g, active, lists, color, ledger);
     EXPECT_TRUE(is_proper_coloring(g, color, g.max_degree() + 1));
@@ -109,7 +109,7 @@ TEST(DegPlusOne, RespectsArbitraryLists) {
                 static_cast<Color>(200 + v % 4)};
   RoundLedger ledger;
   std::vector<Color> color(10, kNoColor);
-  std::vector<bool> active(10, true);
+  NodeMask active(10, 1);
   deg_plus_one_list_color(g, active, lists, color, ledger);
   EXPECT_TRUE(respects_lists(g, color, lists));
 }
@@ -119,7 +119,7 @@ TEST(DegPlusOne, PartialInstanceExtendsColoring) {
   std::vector<Color> color(6, kNoColor);
   color[0] = 3;
   color[1] = 1;
-  std::vector<bool> active = {false, false, true, true, true, true};
+  NodeMask active = {0, 0, 1, 1, 1, 1};
   const auto lists = uniform_lists(g, 6);
   RoundLedger ledger;
   deg_plus_one_list_color(g, active, lists, color, ledger);
@@ -131,7 +131,7 @@ TEST(DegPlusOne, PartialInstanceExtendsColoring) {
 TEST(DegPlusOne, PreconditionViolationThrows) {
   Graph g = complete_graph(4);
   std::vector<Color> color(4, kNoColor);
-  std::vector<bool> active(4, true);
+  NodeMask active(4, 1);
   const auto lists = uniform_lists(g, 3);  // needs >= 4 colors
   RoundLedger ledger;
   EXPECT_THROW(deg_plus_one_list_color(g, active, lists, color, ledger),
@@ -141,7 +141,7 @@ TEST(DegPlusOne, PreconditionViolationThrows) {
 TEST(DegPlusOne, ActiveNodeAlreadyColoredThrows) {
   Graph g = path_graph(3);
   std::vector<Color> color = {0, kNoColor, kNoColor};
-  std::vector<bool> active(3, true);
+  NodeMask active(3, 1);
   RoundLedger ledger;
   EXPECT_THROW(
       deg_plus_one_list_color(g, active, uniform_lists(g, 3), color, ledger),
@@ -152,7 +152,7 @@ TEST(DegPlusOne, RandomizedVariantMatchesGuarantees) {
   for (const Graph& g : test_graphs()) {
     RoundLedger ledger;
     std::vector<Color> color(g.num_nodes(), kNoColor);
-    std::vector<bool> active(g.num_nodes(), true);
+    NodeMask active(g.num_nodes(), 1);
     const auto lists = uniform_lists(g, g.max_degree() + 1);
     deg_plus_one_list_color_randomized(g, active, lists, color, 99, ledger);
     EXPECT_TRUE(is_proper_coloring(g, color, g.max_degree() + 1));
@@ -162,7 +162,7 @@ TEST(DegPlusOne, RandomizedVariantMatchesGuarantees) {
 TEST(DegPlusOne, EmptyActiveSetIsNoop) {
   Graph g = path_graph(5);
   std::vector<Color> color(5, kNoColor);
-  std::vector<bool> active(5, false);
+  NodeMask active(5, 0);
   RoundLedger ledger;
   EXPECT_EQ(deg_plus_one_list_color(g, active, uniform_lists(g, 3), color,
                                     ledger),

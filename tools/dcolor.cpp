@@ -25,6 +25,7 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "deltacolor.hpp"
 
@@ -41,7 +42,7 @@ int usage() {
          "  dcolor color <graph> [algorithm] [seed] [out]\n"
          "  dcolor check <graph> <coloring>\n"
          "flags: --list (registered algorithms), --threads=N (engine "
-         "workers; env DELTACOLOR_THREADS), --frontier (sparse "
+         "workers, 0 = auto; env DELTACOLOR_THREADS), --frontier (sparse "
          "activation)\n";
   return 2;
 }
@@ -181,9 +182,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       const int n = std::atoi(arg.c_str() + 10);
-      if (n <= 0) return usage();
+      if (n < 0) return usage();
+      // 0 = auto (library default: DELTACOLOR_THREADS env var, else
+      // hardware concurrency) — previously this fell through to usage(),
+      // silently suggesting the flag had been applied.
       g_engine.num_threads = n;
-      ThreadPool::set_default_workers(n);
+      if (n > 0) ThreadPool::set_default_workers(n);
     } else if (arg == "--frontier") {
       g_engine.frontier = true;
     } else if (arg == "--list") {
@@ -194,6 +198,15 @@ int main(int argc, char** argv) {
   }
   argc = kept;
   if (argc < 2) return usage();
+  // Resolved engine configuration, printed once so "--threads=0" (auto)
+  // never silently runs with an unexpected worker count.
+  std::cerr << "dcolor: engine workers=" << ThreadPool::default_workers()
+            << " (hw_threads=" << std::thread::hardware_concurrency()
+            << ", requested="
+            << (g_engine.num_threads == 0 ? std::string("auto")
+                                          : std::to_string(
+                                                g_engine.num_threads))
+            << "), frontier=" << (g_engine.frontier ? "on" : "off") << "\n";
   const std::string cmd = argv[1];
   try {
     if (cmd == "gen") return cmd_gen(argc, argv);
