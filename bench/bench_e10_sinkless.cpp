@@ -8,6 +8,7 @@
 // blow-ups; the solver's rounds exhibit the log n shape.
 #include <benchmark/benchmark.h>
 
+#include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
 #include "common/stats.hpp"
@@ -29,18 +30,35 @@ Hypergraph edges_as_hypergraph(const Graph& g) {
 
 void run_tables() {
   banner("E10", "sinkless orientation (rank-2 HEG) is Theta(log n)-shaped");
+
+  struct Row {
+    int vertices = 0;
+    int min_degree = 0;
+    int rounds = 0;
+    bool ok = false;
+  };
   {
+    std::vector<int> n_grid;
+    for (int n = 256; n <= 16384; n *= 4) n_grid.push_back(n);
+    SweepDriver driver;
+    const auto rows = driver.run<Row>(
+        n_grid.size(), [&](std::size_t i, CellContext& ctx) {
+          const int n = n_grid[i];
+          const auto g = cached_regular(n, 3, 7 + n, &ctx.ledger());
+          const Hypergraph h = edges_as_hypergraph(*g);
+          RoundLedger ledger;
+          const HegResult res = solve_heg(h, ledger);
+          Row row;
+          row.rounds = res.rounds;
+          row.ok = res.complete && is_valid_heg(h, res);
+          return row;
+        });
     Table t({"n", "degree", "rounds", "valid"});
     std::vector<double> ns, rounds;
-    for (int n = 256; n <= 16384; n *= 4) {
-      const Graph g = random_regular(n, 3, 7 + n);
-      const Hypergraph h = edges_as_hypergraph(g);
-      RoundLedger ledger;
-      const HegResult res = solve_heg(h, ledger);
-      t.row(n, 3, res.rounds,
-            res.complete && is_valid_heg(h, res) ? "yes" : "NO");
-      ns.push_back(n);
-      rounds.push_back(res.rounds);
+    for (std::size_t i = 0; i < n_grid.size(); ++i) {
+      t.row(n_grid[i], 3, rows[i].rounds, rows[i].ok ? "yes" : "NO");
+      ns.push_back(n_grid[i]);
+      rounds.push_back(rows[i].rounds);
     }
     std::cout << "random 3-regular graphs:\n";
     t.print();
@@ -52,22 +70,33 @@ void run_tables() {
     // The paper's virtual construction: one vertex per clique *half*,
     // oriented intra-clique edges give each half >= 3 candidate edges.
     // We emulate it on the clique-contraction multigraph of blow-ups.
+    const std::vector<int> clique_grid = {64, 256, 1024};
+    SweepDriver driver;
+    const auto rows = driver.run<Row>(
+        clique_grid.size(), [&](std::size_t i, CellContext& ctx) {
+          const auto inst =
+              cached_hard(clique_grid[i], 8, 3, &ctx.ledger());
+          // Contract cliques: vertices = cliques, edges = cross edges.
+          Hypergraph h;
+          h.num_vertices = static_cast<int>(inst->cliques.size());
+          for (const auto& [u, v] : inst->graph.edges()) {
+            const int cu = inst->clique_of[u], cv = inst->clique_of[v];
+            if (cu != cv) h.edges.push_back({cu, cv});
+          }
+          h.build_incidence();
+          RoundLedger ledger;
+          const HegResult res = solve_heg(h, ledger);
+          Row row;
+          row.vertices = static_cast<int>(inst->cliques.size());
+          row.min_degree = h.min_degree();
+          row.rounds = res.rounds;
+          row.ok = res.complete && is_valid_heg(h, res);
+          return row;
+        });
     Table t({"cliques", "super-degree", "rounds", "valid"});
-    for (const int cliques : {64, 256, 1024}) {
-      const CliqueInstance inst = hard_instance(cliques, 8, 3);
-      // Contract cliques: vertices = cliques, edges = cross edges.
-      Hypergraph h;
-      h.num_vertices = static_cast<int>(inst.cliques.size());
-      for (const auto& [u, v] : inst.graph.edges()) {
-        const int cu = inst.clique_of[u], cv = inst.clique_of[v];
-        if (cu != cv) h.edges.push_back({cu, cv});
-      }
-      h.build_incidence();
-      RoundLedger ledger;
-      const HegResult res = solve_heg(h, ledger);
-      t.row(static_cast<int>(inst.cliques.size()), h.min_degree(),
-            res.rounds, res.complete && is_valid_heg(h, res) ? "yes" : "NO");
-    }
+    for (const Row& row : rows)
+      t.row(row.vertices, row.min_degree, row.rounds,
+            row.ok ? "yes" : "NO");
     std::cout << "clique-contraction of blow-up instances (each clique "
                  "grabs an outgoing cross edge):\n";
     t.print();
@@ -76,8 +105,8 @@ void run_tables() {
 
 void BM_SinklessOrientation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const Graph g = random_regular(n, 3, 11);
-  const Hypergraph h = edges_as_hypergraph(g);
+  const auto g = cached_regular(n, 3, 11);
+  const Hypergraph h = edges_as_hypergraph(*g);
   for (auto _ : state) {
     RoundLedger ledger;
     benchmark::DoNotOptimize(solve_heg(h, ledger).grabbed_edge.data());

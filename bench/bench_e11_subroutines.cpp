@@ -8,6 +8,7 @@
 #include <chrono>
 #include <thread>
 
+#include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
 #include "deltacolor.hpp"
@@ -21,37 +22,66 @@ using namespace deltacolor::bench;
 // registry (the same catalog `dcolor --list` prints).
 constexpr const char* kSubroutines[] = {"linial", "greedy", "mis-det",
                                         "matching", "ruling"};
+constexpr std::size_t kNumSubroutines = 5;
 
 void run_tables() {
   banner("E11", "subroutine round complexities (flat in n, ~Delta^2)");
+
+  // Every (instance, subroutine) pair is one sweep cell; the five columns
+  // of a table row share the cached instance.
+  struct Cell {
+    int cliques;
+    int delta;
+    std::size_t subroutine;
+  };
+  std::vector<Cell> cells;
+  for (int cliques = 32; cliques <= 1024; cliques *= 4)
+    for (std::size_t s = 0; s < kNumSubroutines; ++s)
+      cells.push_back({cliques, 16, s});
+  const std::size_t delta_section = cells.size();
+  for (const int delta : {8, 16, 32, 63})
+    for (std::size_t s = 0; s < kNumSubroutines; ++s)
+      cells.push_back({64, delta, s});
+
+  struct Row {
+    NodeId n = 0;
+    std::int64_t rounds = 0;
+  };
+  SweepDriver driver;
+  const auto rows = driver.run<Row>(
+      cells.size(), [&](std::size_t i, CellContext& ctx) {
+        const Cell& c = cells[i];
+        const auto inst =
+            cached_hard(c.cliques, c.delta, 3, &ctx.ledger());
+        AlgorithmRequest req;
+        req.engine = ctx.engine();
+        Row row;
+        row.n = inst->graph.num_nodes();
+        row.rounds = run_registered(kSubroutines[c.subroutine], inst->graph,
+                                    req)
+                         .ledger.total();
+        return row;
+      });
+
   {
     Table t({"n", "linial", "deg+1", "mis", "matching", "ruling"});
-    for (int cliques = 32; cliques <= 1024; cliques *= 4) {
-      const CliqueInstance inst = hard_instance(cliques, 16, 3);
-      const Graph& g = inst.graph;
-      std::vector<std::int64_t> rounds;
-      for (const char* name : kSubroutines)
-        rounds.push_back(run_registered(name, g).ledger.total());
-      t.row(g.num_nodes(), rounds[0], rounds[1], rounds[2], rounds[3],
-            rounds[4]);
-    }
+    for (std::size_t at = 0; at < delta_section; at += kNumSubroutines)
+      t.row(rows[at].n, rows[at].rounds, rows[at + 1].rounds,
+            rows[at + 2].rounds, rows[at + 3].rounds, rows[at + 4].rounds);
     std::cout << "fixed Delta = 16, growing n:\n";
     t.print();
   }
   {
     Table t({"Delta", "n", "linial", "deg+1", "mis", "matching", "ruling"});
-    for (const int delta : {8, 16, 32, 63}) {
-      const CliqueInstance inst = hard_instance(64, delta, 3);
-      const Graph& g = inst.graph;
-      std::vector<std::int64_t> rounds;
-      for (const char* name : kSubroutines)
-        rounds.push_back(run_registered(name, g).ledger.total());
-      t.row(delta, g.num_nodes(), rounds[0], rounds[1], rounds[2],
-            rounds[3], rounds[4]);
-    }
+    for (std::size_t at = delta_section; at < cells.size();
+         at += kNumSubroutines)
+      t.row(cells[at].delta, rows[at].n, rows[at].rounds,
+            rows[at + 1].rounds, rows[at + 2].rounds, rows[at + 3].rounds,
+            rows[at + 4].rounds);
     std::cout << "\nfixed clique count, growing Delta:\n";
     t.print();
   }
+  std::cout << driver.report() << "\n";
 }
 
 // The composed Theorem 1 pipeline (not a demo algorithm) under the
@@ -59,10 +89,11 @@ void run_tables() {
 // EngineOptions through LocalContext, so `--threads` / `--frontier` reach
 // Linial, KW reduction, matching, HEG scheduling, and the deg+1 instances
 // end to end. Colorings are asserted bit-identical across all configs.
+// Serial on purpose: this section measures engine wall-clock.
 void run_engine_tables() {
   banner("E11b", "composed det pipeline under --threads/--frontier");
-  const CliqueInstance inst = hard_instance(512, 16, 3);
-  const Graph& g = inst.graph;
+  const auto inst = cached_hard(512, 16, 3);
+  const Graph& g = inst->graph;
   const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "n = " << g.num_nodes() << ", Delta = " << g.max_degree()
             << ", hardware threads = " << hw << "\n";
@@ -124,20 +155,20 @@ void run_engine_tables() {
 }
 
 void BM_Linial(benchmark::State& state) {
-  const CliqueInstance inst = hard_instance(256, 16, 3);
+  const auto inst = cached_hard(256, 16, 3);
   for (auto _ : state) {
     RoundLedger l;
-    benchmark::DoNotOptimize(linial_coloring(inst.graph, l).color.data());
+    benchmark::DoNotOptimize(linial_coloring(inst->graph, l).color.data());
   }
 }
 BENCHMARK(BM_Linial)->Unit(benchmark::kMillisecond);
 
 void BM_MaximalMatching(benchmark::State& state) {
-  const CliqueInstance inst = hard_instance(256, 16, 3);
+  const auto inst = cached_hard(256, 16, 3);
   for (auto _ : state) {
     RoundLedger l;
     benchmark::DoNotOptimize(
-        maximal_matching_deterministic(inst.graph, l).size());
+        maximal_matching_deterministic(inst->graph, l).size());
   }
 }
 BENCHMARK(BM_MaximalMatching)->Unit(benchmark::kMillisecond);

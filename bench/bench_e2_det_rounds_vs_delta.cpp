@@ -10,8 +10,10 @@
 // constants.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
 #include "common/stats.hpp"
@@ -26,13 +28,32 @@ void run_tables() {
   banner("E2",
          "Theorem 1: Delta-dependence at fixed n (realized as Delta*log Delta "
          "by the KW-scheduled class-greedy substitutions)");
+  const std::vector<int> delta_grid = {12, 16, 24, 32, 48, 63};
+
+  struct Row {
+    NodeId n = 0;
+    DeltaColoringResult res;
+  };
+  SweepDriver driver;
+  const auto rows = driver.run<Row>(
+      delta_grid.size(), [&](std::size_t i, CellContext& ctx) {
+        const int delta = delta_grid[i];
+        const int cliques = std::max(16, 8192 / delta / delta * 2);
+        const auto inst = cached_hard(cliques, delta, 5, &ctx.ledger());
+        auto opt = scaled_options(delta);
+        opt.engine = ctx.engine();
+        Row row;
+        row.res = delta_color_dense(inst->graph, opt);
+        row.n = inst->graph.num_nodes();
+        return row;
+      });
+
   Table t({"Delta", "n", "rounds(total)", "heg", "total/Delta^2", "valid"});
   std::vector<double> deltas, totals;
-  for (const int delta : {12, 16, 24, 32, 48, 63}) {
-    const int cliques = std::max(16, 8192 / delta / delta * 2);
-    const CliqueInstance inst = hard_instance(cliques, delta, 5);
-    const auto res = delta_color_dense(inst.graph, scaled_options(delta));
-    t.row(delta, inst.graph.num_nodes(), res.ledger.total(),
+  for (std::size_t i = 0; i < delta_grid.size(); ++i) {
+    const int delta = delta_grid[i];
+    const auto& res = rows[i].res;
+    t.row(delta, rows[i].n, res.ledger.total(),
           res.ledger.phase_total("phase1-heg"),
           static_cast<double>(res.ledger.total()) / (delta * delta),
           res.valid ? "yes" : "NO");
@@ -53,13 +74,14 @@ void run_tables() {
             << " * Delta^2        (r2 = " << fit2.r2 << ")\n";
   std::cout << "fit total ~ " << fitl.intercept << " + " << fitl.slope
             << " * Delta*log2(D)  (r2 = " << fitl.r2 << ")\n";
+  std::cout << driver.report() << "\n";
 }
 
 void BM_ColoringByDelta(benchmark::State& state) {
   const int delta = static_cast<int>(state.range(0));
-  const CliqueInstance inst = hard_instance(32, delta, 5);
+  const auto inst = cached_hard(32, delta, 5);
   for (auto _ : state) {
-    const auto res = delta_color_dense(inst.graph, scaled_options(delta));
+    const auto res = delta_color_dense(inst->graph, scaled_options(delta));
     benchmark::DoNotOptimize(res.color.data());
     state.counters["rounds"] = static_cast<double>(res.ledger.total());
   }

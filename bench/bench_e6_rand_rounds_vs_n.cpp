@@ -11,6 +11,7 @@
 #include <string_view>
 #include <thread>
 
+#include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
 #include "common/stats.hpp"
@@ -25,23 +26,42 @@ void run_tables() {
   banner("E6",
          "Theorem 2: randomized Delta-coloring; shattering into "
          "poly(Delta) log n components");
+  std::vector<int> clique_grid;
+  for (int cliques = 32; cliques <= 2048; cliques *= 2)
+    clique_grid.push_back(cliques);
+
+  struct Row {
+    NodeId n = 0;
+    RandomizedResult res;
+  };
+  SweepDriver driver;
+  const auto rows = driver.run<Row>(
+      clique_grid.size(), [&](std::size_t i, CellContext& ctx) {
+        const int cliques = clique_grid[i];
+        const auto inst = cached_hard(cliques, 16, 21, &ctx.ledger());
+        auto opt = scaled_randomized_options(16, 1000 + cliques);
+        opt.engine = ctx.engine();
+        Row row;
+        row.res = randomized_delta_color(inst->graph, opt);
+        row.n = inst->graph.num_nodes();
+        return row;
+      });
+
   Table t({"n", "rounds", "tnodes", "failed", "components", "maxCompSize",
            "maxCompRounds", "valid"});
   std::vector<double> ns, comp_sizes;
-  for (int cliques = 32; cliques <= 2048; cliques *= 2) {
-    const CliqueInstance inst = hard_instance(cliques, 16, 21);
-    const auto res = randomized_delta_color(
-        inst.graph, scaled_randomized_options(16, 1000 + cliques));
+  for (const Row& row : rows) {
+    const auto& res = row.res;
     BenchJson("E6")
-        .field("n", inst.graph.num_nodes())
+        .field("n", row.n)
         .field("valid", res.valid)
         .ledger(res.ledger)
         .print();
-    t.row(inst.graph.num_nodes(), res.ledger.total(),
-          res.stats.tnodes_placed, res.stats.failed_cliques,
-          res.stats.components, res.stats.max_component_vertices,
-          res.stats.max_component_rounds, res.valid ? "yes" : "NO");
-    ns.push_back(inst.graph.num_nodes());
+    t.row(row.n, res.ledger.total(), res.stats.tnodes_placed,
+          res.stats.failed_cliques, res.stats.components,
+          res.stats.max_component_vertices, res.stats.max_component_rounds,
+          res.valid ? "yes" : "NO");
+    ns.push_back(row.n);
     comp_sizes.push_back(res.stats.max_component_vertices);
   }
   t.print();
@@ -55,21 +75,38 @@ void run_tables() {
   // log-n-bounded growth.
   std::cout << "coverage-depth sweep (the default depth 3 usually covers "
                "the whole graph):\n";
+  struct DepthCell {
+    int depth;
+    int cliques;
+  };
+  std::vector<DepthCell> depth_cells;
+  for (const int depth : {1, 2, 3})
+    for (const int cliques : {128, 512, 2048})
+      depth_cells.push_back({depth, cliques});
+  SweepDriver depth_driver;
+  const auto depth_rows = depth_driver.run<Row>(
+      depth_cells.size(), [&](std::size_t i, CellContext& ctx) {
+        const DepthCell& c = depth_cells[i];
+        const auto inst = cached_hard(c.cliques, 16, 21, &ctx.ledger());
+        RandomizedOptions opt = scaled_randomized_options(16, 777);
+        opt.layer_depth = c.depth;
+        opt.placement_rounds = 2;  // weaker placement: more failures
+        opt.engine = ctx.engine();
+        Row row;
+        row.res = randomized_delta_color(inst->graph, opt);
+        row.n = inst->graph.num_nodes();
+        return row;
+      });
   Table t2({"layer_depth", "n", "components", "maxCompSize",
             "maxCompRounds", "valid"});
-  for (const int depth : {1, 2, 3}) {
-    for (const int cliques : {128, 512, 2048}) {
-      const CliqueInstance inst = hard_instance(cliques, 16, 21);
-      RandomizedOptions opt = scaled_randomized_options(16, 777);
-      opt.layer_depth = depth;
-      opt.placement_rounds = 2;  // weaker placement: more failures
-      const auto res = randomized_delta_color(inst.graph, opt);
-      t2.row(depth, inst.graph.num_nodes(), res.stats.components,
-             res.stats.max_component_vertices,
-             res.stats.max_component_rounds, res.valid ? "yes" : "NO");
-    }
+  for (std::size_t i = 0; i < depth_cells.size(); ++i) {
+    const auto& res = depth_rows[i].res;
+    t2.row(depth_cells[i].depth, depth_rows[i].n, res.stats.components,
+           res.stats.max_component_vertices, res.stats.max_component_rounds,
+           res.valid ? "yes" : "NO");
   }
   t2.print();
+  std::cout << driver.report() << "\n";
 }
 
 // The pre-rework engine, transcribed for a before/after baseline:
@@ -143,8 +180,8 @@ void run_engine_tables(bool quick = false) {
                 "(color trials, largest workload)");
   // --quick (CI perf-smoke): a quarter-size workload and single reps keep
   // the job under a minute while exercising every engine configuration.
-  const CliqueInstance inst = hard_instance(quick ? 512 : 2048, 16, 21);
-  const Graph& g = inst.graph;
+  const auto inst = cached_hard(quick ? 512 : 2048, 16, 21);
+  const Graph& g = inst->graph;
   std::cout << "n = " << g.num_nodes() << ", Delta = " << g.max_degree()
             << "\n";
   Table t({"engine", "workers", "frontier", "rounds", "wall(ms)",
@@ -271,15 +308,15 @@ void run_engine_tables(bool quick = false) {
 
 void BM_RandomizedColoring(benchmark::State& state) {
   const int cliques = static_cast<int>(state.range(0));
-  const CliqueInstance inst = hard_instance(cliques, 16, 21);
+  const auto inst = cached_hard(cliques, 16, 21);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const auto res = randomized_delta_color(
-        inst.graph, scaled_randomized_options(16, ++seed));
+        inst->graph, scaled_randomized_options(16, ++seed));
     benchmark::DoNotOptimize(res.color.data());
     state.counters["rounds"] = static_cast<double>(res.ledger.total());
   }
-  state.counters["n"] = inst.graph.num_nodes();
+  state.counters["n"] = inst->graph.num_nodes();
 }
 BENCHMARK(BM_RandomizedColoring)->Arg(32)->Arg(128)->Arg(512)
     ->Unit(benchmark::kMillisecond);

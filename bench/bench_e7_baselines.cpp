@@ -9,10 +9,16 @@
 //    O(log n)-tier rounds with exactly Delta colors;
 //  * the randomized algorithm does the same in fewer n-dependent rounds;
 //  * Brooks (centralized) is the sequential reference.
+//
+// Every algorithm row is one SweepDriver cell; all five share the cached
+// instance, so the blow-up / ring is generated once per kind instead of
+// once per algorithm.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
 
+#include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
 #include "deltacolor.hpp"
@@ -32,91 +38,149 @@ void run_tables() {
   banner("E7", "head-to-head: who colors what, with how many colors, in "
                "how many rounds");
 
+  const char* algorithms[] = {"greedy", "layered", "deterministic",
+                              "randomized", "brooks"};
+  constexpr std::size_t kAlgorithms = 5;
+
+  struct Cell {
+    const char* kind;
+    std::size_t algorithm;
+  };
+  std::vector<Cell> cells;
+  for (const char* kind : {"hard", "ring"})
+    for (std::size_t a = 0; a < kAlgorithms; ++a) cells.push_back({kind, a});
+
+  struct Row {
+    std::string label;
+    int colors = 0;
+    bool has_rounds = true;
+    double ms = 0;
+    std::string outcome;
+    bool ok = false;
+    NodeId n = 0;
+    RoundLedger ledger;
+  };
+  SweepDriver driver;
+  const auto rows = driver.run<Row>(cells.size(), [&](std::size_t i,
+                                                      CellContext& ctx) {
+    const Cell& c = cells[i];
+    const bool hard = std::string(c.kind) == "hard";
+    const int delta = hard ? 16 : 8;
+    const auto inst = hard ? cached_hard(128, delta, 17, &ctx.ledger())
+                           : cached_ring(128, delta, 17, &ctx.ledger());
+    const Graph& g = inst->graph;
+    Row row;
+    row.n = g.num_nodes();
+    switch (c.algorithm) {
+      case 0: {  // greedy Delta+1
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto color = greedy_delta_plus_one(g, row.ledger);
+        row.ms = ms_since(t0);
+        row.ok = is_proper_coloring(g, color, delta + 1);
+        row.label = "greedy (Delta+1)";
+        row.colors = check_coloring(g, color).colors_used;
+        row.outcome = row.ok ? "valid (Delta+1)" : "INVALID";
+        break;
+      }
+      case 1: {  // layered baseline
+        AcdParams p;
+        p.epsilon = std::max(kAcdEpsilon, 2.5 / delta);
+        RoundLedger tmp;
+        const Acd acd = compute_acd(g, tmp, p);
+        const auto lps = find_loopholes_dense(g, acd, tmp);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = layered_loophole_coloring(g, lps, row.ledger);
+        row.ms = ms_since(t0);
+        row.ok = res.success;
+        row.label = "layered (prior-style)";
+        row.colors =
+            res.success ? check_coloring(g, res.color).colors_used : 0;
+        row.outcome =
+            res.success ? "valid (Delta)" : "STALLS (no loopholes)";
+        break;
+      }
+      case 2: {  // deterministic (Theorem 1)
+        auto opt = scaled_options(delta);
+        opt.engine = ctx.engine();
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = delta_color_dense(g, opt);
+        row.ms = ms_since(t0);
+        row.ok = res.valid;
+        row.label = "deterministic (Thm 1)";
+        row.colors = check_coloring(g, res.color).colors_used;
+        row.outcome = res.valid ? "valid (Delta)" : "INVALID";
+        row.ledger = res.ledger;
+        break;
+      }
+      case 3: {  // randomized (Theorem 2)
+        auto opt = scaled_randomized_options(delta, 7);
+        opt.engine = ctx.engine();
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = randomized_delta_color(g, opt);
+        row.ms = ms_since(t0);
+        row.ok = res.valid;
+        row.label = "randomized (Thm 2)";
+        row.colors = check_coloring(g, res.color).colors_used;
+        row.outcome = res.valid ? "valid (Delta)" : "INVALID";
+        row.ledger = res.ledger;
+        break;
+      }
+      case 4: {  // Brooks, centralized
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = brooks_coloring(g);
+        row.ms = ms_since(t0);
+        row.ok = res.success;
+        row.has_rounds = false;
+        row.label = "Brooks (centralized)";
+        row.colors =
+            res.success ? check_coloring(g, res.color).colors_used : 0;
+        row.outcome = res.success ? "valid (Delta)" : "exception";
+        break;
+      }
+    }
+    return row;
+  });
+
+  std::size_t at = 0;
   for (const char* kind : {"hard", "ring"}) {
     const bool hard = std::string(kind) == "hard";
-    Table t({"algorithm", "colors", "rounds", "wall(ms)", "outcome"});
     const int delta = hard ? 16 : 8;
-    CliqueInstance inst =
-        hard ? hard_instance(128, delta, 17) : clique_ring(128, delta, 17);
-    const Graph& g = inst.graph;
-
-    auto emit = [&](const char* algorithm, const RoundLedger& ledger,
-                    double ms, bool ok) {
-      BenchJson("E7")
-          .field("instance", kind)
-          .field("n", g.num_nodes())
-          .field("algorithm", algorithm)
-          .field("valid", ok)
-          .field("wall_ms", ms)
-          .ledger(ledger)
-          .print();
-    };
-    {  // greedy Delta+1
-      RoundLedger ledger;
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto color = greedy_delta_plus_one(g, ledger);
-      const double ms = ms_since(t0);
-      const bool ok = is_proper_coloring(g, color, delta + 1);
-      t.row("greedy (Delta+1)", check_coloring(g, color).colors_used,
-            ledger.total(), ms, ok ? "valid (Delta+1)" : "INVALID");
-      emit("greedy", ledger, ms, ok);
-    }
-    {  // layered baseline
-      RoundLedger ledger;
-      AcdParams p;
-      p.epsilon = std::max(kAcdEpsilon, 2.5 / delta);
-      RoundLedger tmp;
-      const Acd acd = compute_acd(g, tmp, p);
-      const auto lps = find_loopholes_dense(g, acd, tmp);
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto res = layered_loophole_coloring(g, lps, ledger);
-      const double ms = ms_since(t0);
-      t.row("layered (prior-style)",
-            res.success ? check_coloring(g, res.color).colors_used : 0,
-            ledger.total(), ms,
-            res.success ? "valid (Delta)" : "STALLS (no loopholes)");
-      emit("layered", ledger, ms, res.success);
-    }
-    {  // deterministic (Theorem 1)
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto res = delta_color_dense(g, scaled_options(delta));
-      const double ms = ms_since(t0);
-      t.row("deterministic (Thm 1)",
-            check_coloring(g, res.color).colors_used, res.ledger.total(),
-            ms, res.valid ? "valid (Delta)" : "INVALID");
-      emit("deterministic", res.ledger, ms, res.valid);
-    }
-    {  // randomized (Theorem 2)
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto res =
-          randomized_delta_color(g, scaled_randomized_options(delta, 7));
-      const double ms = ms_since(t0);
-      t.row("randomized (Thm 2)", check_coloring(g, res.color).colors_used,
-            res.ledger.total(), ms, res.valid ? "valid (Delta)" : "INVALID");
-      emit("randomized", res.ledger, ms, res.valid);
-    }
-    {  // Brooks, centralized
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto res = brooks_coloring(g);
-      const double ms = ms_since(t0);
-      t.row("Brooks (centralized)",
-            res.success ? check_coloring(g, res.color).colors_used : 0,
-            "-", ms, res.success ? "valid (Delta)" : "exception");
+    Table t({"algorithm", "colors", "rounds", "wall(ms)", "outcome"});
+    NodeId n = 0;
+    for (std::size_t a = 0; a < kAlgorithms; ++a, ++at) {
+      const Row& row = rows[at];
+      n = row.n;
+      if (row.has_rounds)
+        t.row(row.label, row.colors, row.ledger.total(), row.ms,
+              row.outcome);
+      else
+        t.row(row.label, row.colors, "-", row.ms, row.outcome);
+      if (cells[at].algorithm != 4)  // Brooks has no LOCAL rounds to emit
+        BenchJson("E7")
+            .field("instance", kind)
+            .field("n", row.n)
+            .field("algorithm", algorithms[a])
+            .field("valid", row.ok)
+            .field("wall_ms", row.ms)
+            .ledger(row.ledger)
+            .print();
     }
     std::cout << (hard ? "All-hard blow-up instance" : "Easy clique ring")
-              << " (n = " << g.num_nodes() << ", Delta = " << delta
-              << "):\n";
+              << " (n = " << n << ", Delta = " << delta << "):\n";
     t.print();
     std::cout << "\n";
   }
+  std::cout << driver.report() << "\n";
 
   // Engine configurations head-to-head on the same protocol: the round
   // engine's sparse-activation mode against full sweeps, on the message-
-  // passing color-trial workload (the engine's hot path).
+  // passing color-trial workload (the engine's hot path). Serial on
+  // purpose — this section measures engine wall-clock, so cells must not
+  // share the machine.
   banner("E7b", "round engine configurations (color trials, hard blow-up)");
   {
-    const CliqueInstance inst = hard_instance(512, 16, 17);
-    const Graph& g = inst.graph;
+    const auto inst = cached_hard(512, 16, 17);
+    const Graph& g = inst->graph;
     Table t({"engine", "rounds", "wall(ms)", "valid"});
     const std::pair<const char*, EngineOptions> configs[] = {
         {"full-sweep serial", {1, false}},
@@ -145,30 +209,30 @@ void run_tables() {
 }
 
 void BM_Greedy(benchmark::State& state) {
-  const CliqueInstance inst = hard_instance(128, 16, 17);
+  const auto inst = cached_hard(128, 16, 17);
   for (auto _ : state) {
     RoundLedger ledger;
     benchmark::DoNotOptimize(
-        greedy_delta_plus_one(inst.graph, ledger).data());
+        greedy_delta_plus_one(inst->graph, ledger).data());
   }
 }
 BENCHMARK(BM_Greedy)->Unit(benchmark::kMillisecond);
 
 void BM_Deterministic(benchmark::State& state) {
-  const CliqueInstance inst = hard_instance(128, 16, 17);
+  const auto inst = cached_hard(128, 16, 17);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        delta_color_dense(inst.graph, scaled_options(16)).color.data());
+        delta_color_dense(inst->graph, scaled_options(16)).color.data());
   }
 }
 BENCHMARK(BM_Deterministic)->Unit(benchmark::kMillisecond);
 
 void BM_Randomized(benchmark::State& state) {
-  const CliqueInstance inst = hard_instance(128, 16, 17);
+  const auto inst = cached_hard(128, 16, 17);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        randomized_delta_color(inst.graph,
+        randomized_delta_color(inst->graph,
                                scaled_randomized_options(16, ++seed))
             .color.data());
   }
@@ -176,9 +240,9 @@ void BM_Randomized(benchmark::State& state) {
 BENCHMARK(BM_Randomized)->Unit(benchmark::kMillisecond);
 
 void BM_Brooks(benchmark::State& state) {
-  const CliqueInstance inst = hard_instance(128, 16, 17);
+  const auto inst = cached_hard(128, 16, 17);
   for (auto _ : state)
-    benchmark::DoNotOptimize(brooks_coloring(inst.graph).color.data());
+    benchmark::DoNotOptimize(brooks_coloring(inst->graph).color.data());
 }
 BENCHMARK(BM_Brooks)->Unit(benchmark::kMillisecond);
 

@@ -9,37 +9,46 @@
 
 namespace deltacolor {
 
+// Generator fast paths: every builder below knows the structure of the
+// edge list it emits (row-major enumeration is lexicographically sorted;
+// distinct slots never repeat an edge), and declares it via EdgeListHints
+// so the Graph builder can skip normalization, the counting sort, or the
+// dedup pass. The hints never change the resulting CSR — only the work
+// needed to reach it.
+
 Graph path_graph(NodeId n) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
-  return Graph(n, std::move(edges));
+  return Graph(n, std::move(edges), kSortedUniqueEdges);
 }
 
 Graph cycle_graph(NodeId n) {
   DC_CHECK(n >= 3);
   std::vector<std::pair<NodeId, NodeId>> edges;
-  for (NodeId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
-  return Graph(n, std::move(edges));
+  edges.emplace_back(0, 1);
+  edges.emplace_back(0, n - 1);  // the wrap edge, in sorted position
+  for (NodeId i = 1; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, std::move(edges), kSortedUniqueEdges);
 }
 
 Graph complete_graph(NodeId n) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId i = 0; i < n; ++i)
     for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
-  return Graph(n, std::move(edges));
+  return Graph(n, std::move(edges), kSortedUniqueEdges);
 }
 
 Graph complete_bipartite(NodeId a, NodeId b) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId i = 0; i < a; ++i)
     for (NodeId j = 0; j < b; ++j) edges.emplace_back(i, a + j);
-  return Graph(a + b, std::move(edges));
+  return Graph(a + b, std::move(edges), kSortedUniqueEdges);
 }
 
 Graph star_graph(NodeId leaves) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId i = 0; i < leaves; ++i) edges.emplace_back(0, i + 1);
-  return Graph(leaves + 1, std::move(edges));
+  return Graph(leaves + 1, std::move(edges), kSortedUniqueEdges);
 }
 
 Graph torus_grid(NodeId rows, NodeId cols) {
@@ -48,11 +57,15 @@ Graph torus_grid(NodeId rows, NodeId cols) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
-      edges.emplace_back(at(r, c), at(r, (c + 1) % cols));
-      edges.emplace_back(at(r, c), at((r + 1) % rows, c));
+      const auto right = at(r, (c + 1) % cols);
+      const auto down = at((r + 1) % rows, c);
+      edges.emplace_back(std::min(at(r, c), right),
+                         std::max(at(r, c), right));
+      edges.emplace_back(std::min(at(r, c), down),
+                         std::max(at(r, c), down));
     }
   }
-  return Graph(rows * cols, std::move(edges));
+  return Graph(rows * cols, std::move(edges), kNormalizedUniqueEdges);
 }
 
 Graph random_tree(NodeId n, std::uint64_t seed) {
@@ -60,7 +73,8 @@ Graph random_tree(NodeId n, std::uint64_t seed) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId v = 1; v < n; ++v)
     edges.emplace_back(static_cast<NodeId>(rng.below(v)), v);
-  return Graph(n, std::move(edges));
+  // Each child v appears in exactly one (parent < v) pair.
+  return Graph(n, std::move(edges), kNormalizedUniqueEdges);
 }
 
 Graph random_graph(NodeId n, double p, std::uint64_t seed) {
@@ -69,7 +83,7 @@ Graph random_graph(NodeId n, double p, std::uint64_t seed) {
   for (NodeId i = 0; i < n; ++i)
     for (NodeId j = i + 1; j < n; ++j)
       if (rng.chance(p)) edges.emplace_back(i, j);
-  return Graph(n, std::move(edges));
+  return Graph(n, std::move(edges), kSortedUniqueEdges);
 }
 
 Graph random_regular(NodeId n, int d, std::uint64_t seed) {
@@ -128,7 +142,9 @@ Graph random_regular(NodeId n, int d, std::uint64_t seed) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(num_pairs);
   for (std::size_t k = 0; k < num_pairs; ++k) edges.push_back(pair_of(k));
-  return Graph(n, std::move(edges));
+  // count_multi() == 0 certifies the pairing is simple: no pair repeats
+  // after normalization, so the builder can skip its dedup pass.
+  return Graph(n, std::move(edges), EdgeListHints{false, true, false});
 }
 
 // --- number-theory helpers ---------------------------------------------------
@@ -321,7 +337,9 @@ CliqueInstance clique_blowup_instance(const CliqueInstanceOptions& options) {
     for (int scan = 0;; ++scan) {
       DC_CHECK_MSG(scan < max_scans,
                    "clique_blowup_instance: 6-cycle repair did not converge");
-      const Graph cross_only(n, cross_edges);
+      // Cross edges always join a left clique (index < side) to a right
+      // clique, so u < v holds and no pair repeats (one edge per R-slot).
+      const Graph cross_only(n, cross_edges, kNormalizedUniqueEdges);
       const auto pivots = short_cycle_pivots(cross_only, 6);
       if (pivots.empty()) break;
       for (const NodeId pivot : pivots) {
@@ -375,7 +393,11 @@ CliqueInstance clique_blowup_instance(const CliqueInstanceOptions& options) {
     }
   }
 
-  inst.graph = Graph(n, std::move(edges));
+  // Cross edges are normalized and unique (see the repair loop above);
+  // intra edges are emitted with i < j within one clique and never collide
+  // with cross edges (which join distinct cliques). The blow-up knows its
+  // adjacency structure, so no global sort or dedup is needed.
+  inst.graph = Graph(n, std::move(edges), kNormalizedUniqueEdges);
   DC_CHECK(inst.graph.max_degree() == delta);
   if (options.shuffle_ids)
     inst.graph.set_ids(shuffled_ids(n, options.seed ^ 0x5eedULL));
@@ -405,9 +427,9 @@ CliqueInstance clique_ring(int num_cliques, int clique_size,
     // Local vertex 0 links forward to local vertex 1 of the next clique.
     const NodeId u = static_cast<NodeId>(c) * s;
     const NodeId w = static_cast<NodeId>((c + 1) % t) * s + 1;
-    edges.emplace_back(u, w);
+    edges.emplace_back(std::min(u, w), std::max(u, w));
   }
-  inst.graph = Graph(n, std::move(edges));
+  inst.graph = Graph(n, std::move(edges), kNormalizedUniqueEdges);
   DC_CHECK(inst.graph.max_degree() == s);
   inst.graph.set_ids(shuffled_ids(n, seed));
   return inst;

@@ -5,10 +5,150 @@
 #include <queue>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace deltacolor {
 
-Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges) {
+namespace {
+
+/// Runs fn(begin, end) over contiguous slices of [0, size): one slice per
+/// pool worker, or the whole range inline without a pool. Every builder
+/// stage dispatched this way writes only slots derived from its own node
+/// range, so the schedule cannot leak into the CSR.
+template <typename Fn>
+void for_node_ranges(ThreadPool* pool, std::size_t size, Fn&& fn) {
+  if (pool == nullptr || pool->num_workers() == 1 || size <= 1) {
+    fn(std::size_t{0}, size);
+    return;
+  }
+  pool->for_range(0, size, [&](int, std::size_t begin, std::size_t end) {
+    fn(begin, end);
+  });
+}
+
+}  // namespace
+
+Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges)
+    : Graph(num_nodes, std::move(edges), EdgeListHints{}, nullptr) {}
+
+Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges,
+             EdgeListHints hints, ThreadPool* pool) {
+  for (auto& [u, v] : edges) {
+    DC_CHECK_MSG(u != v, "self loop at node " << u);
+    DC_CHECK_MSG(u < num_nodes && v < num_nodes,
+                 "edge (" << u << "," << v << ") out of range n=" << num_nodes);
+    if (hints.normalized || hints.sorted) {
+      DC_DCHECK(u < v);
+    } else if (u > v) {
+      std::swap(u, v);
+    }
+  }
+  const std::size_t n = num_nodes;
+
+  if (hints.sorted) {
+    DC_DCHECK(std::is_sorted(edges.begin(), edges.end()));
+    if (!hints.unique)
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    else
+      DC_DCHECK(std::adjacent_find(edges.begin(), edges.end()) ==
+                edges.end());
+    edges_ = std::move(edges);
+  } else {
+    // Counting sort by lower endpoint: histogram → prefix offsets →
+    // scatter. Each node's bucket is then sorted and deduplicated
+    // independently (buckets have at most deg(u) entries, so this is the
+    // per-node merge — no global comparison sort).
+    std::vector<std::size_t> bucket_start(n + 1, 0);
+    for (const auto& [u, v] : edges) ++bucket_start[u + 1];
+    std::partial_sum(bucket_start.begin(), bucket_start.end(),
+                     bucket_start.begin());
+    std::vector<NodeId> bucket(edges.size());
+    {
+      std::vector<std::size_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+      for (const auto& [u, v] : edges) bucket[cursor[u]++] = v;
+    }
+    edges.clear();
+    edges.shrink_to_fit();
+    // Sort + dedup each bucket in place; `uniq[u]` is the surviving count.
+    std::vector<std::size_t> uniq(n + 1, 0);
+    for_node_ranges(pool, n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t u = begin; u < end; ++u) {
+        const auto lo = bucket.begin() +
+                        static_cast<std::ptrdiff_t>(bucket_start[u]);
+        const auto hi = bucket.begin() +
+                        static_cast<std::ptrdiff_t>(bucket_start[u + 1]);
+        std::sort(lo, hi);
+        if (hints.unique) {
+          DC_DCHECK(std::adjacent_find(lo, hi) == hi);
+          uniq[u + 1] = static_cast<std::size_t>(hi - lo);
+        } else {
+          uniq[u + 1] = static_cast<std::size_t>(std::unique(lo, hi) - lo);
+        }
+      }
+    });
+    std::partial_sum(uniq.begin(), uniq.end(), uniq.begin());
+    edges_.resize(uniq[n]);
+    for_node_ranges(pool, n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t u = begin; u < end; ++u) {
+        std::size_t out = uniq[u];
+        const std::size_t lo = bucket_start[u];
+        for (std::size_t i = 0; i < uniq[u + 1] - uniq[u]; ++i)
+          edges_[out++] = {static_cast<NodeId>(u), bucket[lo + i]};
+      }
+    });
+  }
+
+  // CSR materialization. Edge ids are positions in the sorted-unique edge
+  // list, so for every node the incident arcs in edge-id order are already
+  // sorted by neighbor: in-arcs (u, v) with u < v come first (ascending u,
+  // because the edge list is lexicographic), then the node's own out-arcs
+  // (v, w), ascending w and contiguous in the edge list. No per-node arc
+  // sort is needed — the legacy builder's was a stable no-op.
+  offsets_.assign(n + 1, 0);
+  std::vector<std::size_t> in_deg(n, 0);
+  std::vector<std::size_t> out_start(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+    ++in_deg[v];
+    ++out_start[u + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  std::partial_sum(out_start.begin(), out_start.end(), out_start.begin());
+
+  adjacency_.resize(edges_.size() * 2);
+  arc_edge_.resize(edges_.size() * 2);
+  {
+    // In-arcs: one serial cursor pass in edge-id order (slots per node are
+    // filled front to back). Out-arcs: fully parallel, each node copies its
+    // contiguous edge range behind its in-arc block.
+    std::vector<std::size_t> cursor(n);
+    for (std::size_t v = 0; v < n; ++v) cursor[v] = offsets_[v];
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      const NodeId v = edges_[e].second;
+      adjacency_[cursor[v]] = edges_[e].first;
+      arc_edge_[cursor[v]++] = e;
+    }
+    for_node_ranges(pool, n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t u = begin; u < end; ++u) {
+        std::size_t pos = offsets_[u] + in_deg[u];
+        for (std::size_t e = out_start[u]; e < out_start[u + 1]; ++e) {
+          adjacency_[pos] = edges_[e].second;
+          arc_edge_[pos++] = static_cast<EdgeId>(e);
+        }
+      }
+    });
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    max_degree_ = std::max(max_degree_,
+                           static_cast<int>(offsets_[v + 1] - offsets_[v]));
+  ids_ = identity_ids(num_nodes);
+}
+
+Graph Graph::legacy_build(NodeId num_nodes,
+                          std::vector<std::pair<NodeId, NodeId>> edges) {
+  Graph g;
   for (auto& [u, v] : edges) {
     DC_CHECK_MSG(u != v, "self loop at node " << u);
     DC_CHECK_MSG(u < num_nodes && v < num_nodes,
@@ -17,40 +157,41 @@ Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges) {
   }
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  edges_ = std::move(edges);
+  g.edges_ = std::move(edges);
 
-  offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
-  for (const auto& [u, v] : edges_) {
-    ++offsets_[u + 1];
-    ++offsets_[v + 1];
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : g.edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
   }
-  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
 
-  adjacency_.resize(edges_.size() * 2);
-  arc_edge_.resize(edges_.size() * 2);
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    const auto [u, v] = edges_[e];
-    adjacency_[cursor[u]] = v;
-    arc_edge_[cursor[u]++] = e;
-    adjacency_[cursor[v]] = u;
-    arc_edge_[cursor[v]++] = e;
+  g.adjacency_.resize(g.edges_.size() * 2);
+  g.arc_edge_.resize(g.edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const auto [u, v] = g.edges_[e];
+    g.adjacency_[cursor[u]] = v;
+    g.arc_edge_[cursor[u]++] = e;
+    g.adjacency_[cursor[v]] = u;
+    g.arc_edge_[cursor[v]++] = e;
   }
   // Sort each node's arcs by neighbor index, keeping arc_edge_ aligned.
   for (NodeId v = 0; v < num_nodes; ++v) {
-    const std::size_t lo = offsets_[v], hi = offsets_[v + 1];
+    const std::size_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
     std::vector<std::pair<NodeId, EdgeId>> arcs;
     arcs.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i)
-      arcs.emplace_back(adjacency_[i], arc_edge_[i]);
+      arcs.emplace_back(g.adjacency_[i], g.arc_edge_[i]);
     std::sort(arcs.begin(), arcs.end());
     for (std::size_t i = lo; i < hi; ++i) {
-      adjacency_[i] = arcs[i - lo].first;
-      arc_edge_[i] = arcs[i - lo].second;
+      g.adjacency_[i] = arcs[i - lo].first;
+      g.arc_edge_[i] = arcs[i - lo].second;
     }
-    max_degree_ = std::max(max_degree_, static_cast<int>(hi - lo));
+    g.max_degree_ = std::max(g.max_degree_, static_cast<int>(hi - lo));
   }
-  ids_ = identity_ids(num_nodes);
+  g.ids_ = identity_ids(num_nodes);
+  return g;
 }
 
 EdgeId Graph::edge_between(NodeId u, NodeId v) const {

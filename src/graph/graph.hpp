@@ -16,13 +16,56 @@
 
 namespace deltacolor {
 
+class ThreadPool;
+
+/// What the caller already knows about an edge list handed to Graph's
+/// builder. Generators that emit structured edge lists (clique blow-ups,
+/// product graphs, G(n, p) in row-major order) declare it here so the
+/// builder can skip normalization, per-node dedup, or the counting sort
+/// entirely. Hints are promises: they are DCHECK-verified in debug builds,
+/// and a wrong hint in a release build produces a malformed graph.
+struct EdgeListHints {
+  /// Every pair already satisfies u < v.
+  bool normalized = false;
+  /// No duplicate pairs (after normalization).
+  bool unique = false;
+  /// Lexicographically sorted by (u, v); implies `normalized`.
+  bool sorted = false;
+};
+
+inline constexpr EdgeListHints kUnsortedEdges{};
+inline constexpr EdgeListHints kNormalizedUniqueEdges{true, true, false};
+inline constexpr EdgeListHints kSortedUniqueEdges{true, true, true};
+
 class Graph {
  public:
   Graph() = default;
 
   /// Builds from an edge list. Edges must be simple (no self loops); pairs
   /// are deduplicated. Node count is explicit so isolated nodes survive.
+  ///
+  /// The builder is sort-free: a two-pass counting sort (per-lower-endpoint
+  /// degree histogram → prefix offsets → scatter) buckets the edges, each
+  /// node's small bucket is sorted and deduplicated independently, and the
+  /// CSR arcs are materialized per node — no global comparison sort ever
+  /// runs. The result is bit-identical to the legacy sort+unique builder
+  /// (`legacy_build`, kept as the test oracle): same edge ids, offsets,
+  /// adjacency order, and arc/edge alignment.
   Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Same, with caller-declared structure (see EdgeListHints) and an
+  /// optional thread pool. With a pool, the per-node stages (bucket
+  /// sort/dedup, edge compaction, arc materialization) run on contiguous
+  /// node ranges across the workers; every stage writes disjoint slots, so
+  /// the CSR is bit-identical to the serial build for any worker count.
+  Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges,
+        EdgeListHints hints, ThreadPool* pool = nullptr);
+
+  /// The pre-PR-4 sort+unique builder (global std::sort of the edge list,
+  /// then a per-node arc sort). Kept only as the equivalence oracle for
+  /// the counting-sort builder; do not use on hot paths.
+  static Graph legacy_build(NodeId num_nodes,
+                            std::vector<std::pair<NodeId, NodeId>> edges);
 
   NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
   EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }

@@ -169,7 +169,7 @@ class SyncRunner {
   /// schedule-independent like regular rounds.
   template <typename Fn>
   void mutate_states(Fn&& fn) {
-    each_chunk(cur_.size(), [&](std::size_t begin, std::size_t end) {
+    each_chunk(cur_.size(), [&](int, std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i)
         cur_[i] = fn(std::move(cur_[i]));
     });
@@ -182,7 +182,7 @@ class SyncRunner {
     int rounds = 0;
     while (rounds < max_rounds && !done(cur_)) {
       const int r = rounds;
-      each_chunk(n, [&](std::size_t begin, std::size_t end) {
+      each_chunk(n, [&](int, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           const NodeId v = static_cast<NodeId>(i);
           nxt_[v] = step(View(g_, v, cur_, r));
@@ -219,6 +219,16 @@ class SyncRunner {
         std::max<std::size_t>(1, n / (2 * avg_deg_plus_2));
     std::vector<NodeId> active, next_active;
     bool dense = true;  // the first sweep steps everyone
+    // Dense-round bookkeeping is single-pass: each worker appends the
+    // changed nodes of its own contiguous chunk to a private list while it
+    // steps them, so no post-round O(n) count or rebuild scan runs. After
+    // the barrier the list sizes are reduced for the cutoff test, and on a
+    // dense -> sparse transition the lists are concatenated in chunk order
+    // — chunks are ascending contiguous node ranges, so the concatenation
+    // is exactly the ascending scan order the rebuild pass produced, and
+    // the active list (hence every later round) is bit-identical.
+    chunk_changed_.resize(
+        pool_ == nullptr ? 1 : static_cast<std::size_t>(pool_->num_workers()));
 
     // Invariant at the top of each SPARSE round: for every node NOT on the
     // active list, nxt_[v] == cur_[v] (its state cannot change, and the
@@ -231,33 +241,36 @@ class SyncRunner {
     while (rounds < max_rounds && !done(cur_)) {
       const int r = rounds;
       if (dense) {
-        each_chunk(n, [&](std::size_t begin, std::size_t end) {
+        for (auto& list : chunk_changed_) list.clear();
+        each_chunk(n, [&](int worker, std::size_t begin, std::size_t end) {
+          auto& changed_here = chunk_changed_[static_cast<std::size_t>(worker)];
           for (std::size_t i = begin; i < end; ++i) {
             const NodeId v = static_cast<NodeId>(i);
             State s = step(View(g_, v, cur_, r));
-            changed_[v] = !(s == cur_[v]);
+            if (!(s == cur_[v])) changed_here.push_back(v);
             nxt_[v] = std::move(s);
           }
         });
         cur_.swap(nxt_);
-        const std::size_t changed_count = static_cast<std::size_t>(
-            std::count(changed_.begin(), changed_.end(), std::uint8_t{1}));
+        std::size_t changed_count = 0;
+        for (const auto& list : chunk_changed_) changed_count += list.size();
         if (changed_count <= sparse_cutoff) {
           next_active.clear();
-          for (NodeId v = 0; v < n; ++v)
-            if (changed_[v]) next_active.push_back(v);
+          for (const auto& list : chunk_changed_)
+            next_active.insert(next_active.end(), list.begin(), list.end());
           expand_frontier(next_active, active);
           dense = false;
         }
       } else if (!active.empty()) {
-        each_chunk(active.size(), [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            const NodeId v = active[i];
-            State s = step(View(g_, v, cur_, r));
-            changed_[v] = !(s == cur_[v]);
-            nxt_[v] = std::move(s);
-          }
-        });
+        each_chunk(active.size(),
+                   [&](int, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       const NodeId v = active[i];
+                       State s = step(View(g_, v, cur_, r));
+                       changed_[v] = !(s == cur_[v]);
+                       nxt_[v] = std::move(s);
+                     }
+                   });
         cur_.swap(nxt_);
         next_active.clear();
         for (const NodeId v : active)
@@ -294,22 +307,25 @@ class SyncRunner {
     for (const NodeId v : out) queued_[v] = 0;
   }
 
-  /// Runs fn over contiguous chunks of [0, size), one per worker; serial
-  /// (and pool-free) when options_.num_threads == 1. Each worker's
-  /// ScratchArena is reset before its chunk: round-local scratch carved by
-  /// step kernels never survives into the next round (arena.hpp contract),
-  /// and the reset is free once arenas are warm.
+  /// Runs fn(worker, begin, end) over contiguous chunks of [0, size), one
+  /// per worker (worker 0 owns the whole range when serial, i.e. when
+  /// options_.num_threads == 1). The worker index is for worker-private
+  /// bookkeeping only (e.g. dense-round changed lists); results must not
+  /// depend on it. Each worker's ScratchArena is reset before its chunk:
+  /// round-local scratch carved by step kernels never survives into the
+  /// next round (arena.hpp contract), and the reset is free once arenas
+  /// are warm.
   template <typename ChunkFn>
   void each_chunk(std::size_t size, ChunkFn&& fn) {
     if (pool_ == nullptr || pool_->num_workers() == 1) {
       ScratchArena::local().reset();
-      fn(0, size);
+      fn(0, std::size_t{0}, size);
       return;
     }
     pool_->for_range(0, size,
-                     [&](int, std::size_t begin, std::size_t end) {
+                     [&](int worker, std::size_t begin, std::size_t end) {
                        ScratchArena::local().reset();
-                       fn(begin, end);
+                       fn(worker, begin, end);
                      });
   }
 
@@ -320,12 +336,21 @@ class SyncRunner {
   std::vector<State> nxt_;
   std::vector<std::uint8_t> changed_;  // frontier: state changed last round
   std::vector<std::uint8_t> queued_;   // frontier: dedup for the next list
+  // Dense rounds: per-worker changed-node lists (ascending within each
+  // worker's contiguous chunk), concatenated in chunk order on a
+  // dense -> sparse transition.
+  std::vector<std::vector<NodeId>> chunk_changed_;
 };
 
 /// One round of "everyone publishes, everyone reads neighbors" implemented
-/// directly for hand-rolled primitives that keep their own buffers: copies
-/// `next` over `cur` and returns the incremented round count. Purely a
-/// readability helper to keep the double-buffer discipline visible.
+/// directly for hand-rolled primitives that keep their own buffers: swaps
+/// `next` into `cur` and returns the incremented round count. An O(1) swap
+/// (not a copy) is all the double-buffer discipline requires: once every
+/// node has written its round-t state into `next`, the buffers trade roles
+/// — `cur` becomes the published round-t snapshot, and the old snapshot
+/// becomes the scratch buffer that round t+1 overwrites slot-by-slot before
+/// the next commit, so its stale contents are never observed. Purely a
+/// readability helper to keep that discipline visible at call sites.
 template <typename State>
 int commit_round(std::vector<State>& cur, std::vector<State>& next,
                  int rounds) {

@@ -1,0 +1,151 @@
+// Equivalence suite for the sort-free CSR builder: the counting-sort
+// constructor (serial and pool-parallel, with every hint combination) must
+// reproduce the legacy sort+unique builder (`Graph::legacy_build`, kept as
+// the oracle) bit for bit — same edge list, neighbor order, arc/edge
+// alignment, offsets, and max degree — on random edge soups and on every
+// generator family.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+// Exact structural equality through the public API: edges() pins edge ids,
+// neighbors()/incident_edges() pin the CSR arrays, and the per-node spans
+// walk offsets_ so any offset drift shows up as a span mismatch.
+void expect_identical(const Graph& got, const Graph& want) {
+  ASSERT_EQ(got.num_nodes(), want.num_nodes());
+  ASSERT_EQ(got.num_edges(), want.num_edges());
+  EXPECT_EQ(got.max_degree(), want.max_degree());
+  EXPECT_EQ(got.edges(), want.edges());
+  for (NodeId v = 0; v < want.num_nodes(); ++v) {
+    const auto gn = got.neighbors(v);
+    const auto wn = want.neighbors(v);
+    ASSERT_EQ(gn.size(), wn.size()) << "degree mismatch at node " << v;
+    EXPECT_TRUE(std::equal(gn.begin(), gn.end(), wn.begin()))
+        << "adjacency mismatch at node " << v;
+    const auto ge = got.incident_edges(v);
+    const auto we = want.incident_edges(v);
+    ASSERT_EQ(ge.size(), we.size());
+    EXPECT_TRUE(std::equal(ge.begin(), ge.end(), we.begin()))
+        << "arc/edge alignment mismatch at node " << v;
+  }
+}
+
+// A messy edge list: reversed pairs, duplicates (both orders), and a
+// skewed degree distribution so some counting-sort buckets are large.
+EdgeList random_soup(NodeId n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    // Skew: half the endpoints land in the first quarter of the id space.
+    NodeId v = static_cast<NodeId>(rng.below(rng.chance(0.5) ? n : n / 4 + 1));
+    if (u == v) continue;
+    if (rng.chance(0.5)) std::swap(u, v);  // deliberately denormalized
+    edges.emplace_back(u, v);
+    if (rng.chance(0.3)) edges.push_back(edges.back());  // duplicates
+  }
+  return edges;
+}
+
+EdgeList normalized_unique(EdgeList edges) {
+  for (auto& [u, v] : edges)
+    if (u > v) std::swap(u, v);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+TEST(CsrBuilder, MatchesLegacyOnRandomSoup) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const NodeId n = 200 + 50 * static_cast<NodeId>(seed);
+    const EdgeList soup = random_soup(n, 8 * n, seed);
+    const Graph want = Graph::legacy_build(n, soup);
+    expect_identical(Graph(n, soup), want);
+    expect_identical(Graph(n, soup, kUnsortedEdges), want);
+  }
+}
+
+TEST(CsrBuilder, HintedPathsMatchLegacy) {
+  const NodeId n = 300;
+  const EdgeList soup = random_soup(n, 6 * n, 7);
+  const Graph want = Graph::legacy_build(n, soup);
+  const EdgeList clean = normalized_unique(soup);
+  expect_identical(Graph(n, clean, kSortedUniqueEdges), want);
+  expect_identical(Graph(n, clean, kNormalizedUniqueEdges), want);
+  expect_identical(Graph(n, clean, EdgeListHints{true, false, false}), want);
+  // Sorted-but-not-unique: duplicates adjacent after the sort.
+  EdgeList sorted_dups = soup;
+  for (auto& [u, v] : sorted_dups)
+    if (u > v) std::swap(u, v);
+  std::sort(sorted_dups.begin(), sorted_dups.end());
+  expect_identical(Graph(n, sorted_dups, EdgeListHints{true, false, true}),
+                   want);
+}
+
+TEST(CsrBuilder, ParallelBuildIsBitIdentical) {
+  const NodeId n = 500;
+  const EdgeList soup = random_soup(n, 10 * n, 11);
+  const Graph want = Graph::legacy_build(n, soup);
+  for (const int workers : {2, 3, 8}) {
+    ThreadPool& pool = ThreadPool::shared(workers);
+    expect_identical(Graph(n, soup, kUnsortedEdges, &pool), want);
+    expect_identical(
+        Graph(n, normalized_unique(soup), kSortedUniqueEdges, &pool), want);
+  }
+}
+
+TEST(CsrBuilder, RejectsSelfLoopsAndOutOfRange) {
+  EXPECT_THROW(Graph(4, {{2, 2}}), std::logic_error);
+  EXPECT_THROW(Graph(4, {{0, 1}, {3, 3}}, kUnsortedEdges), std::logic_error);
+  EXPECT_THROW(Graph(3, {{0, 7}}), std::logic_error);
+  EXPECT_THROW(Graph::legacy_build(4, {{2, 2}}), std::logic_error);
+}
+
+TEST(CsrBuilder, IsolatedNodesAndEmptyGraphs) {
+  expect_identical(Graph(0, {}), Graph::legacy_build(0, {}));
+  expect_identical(Graph(9, {}), Graph::legacy_build(9, {}));
+  const EdgeList one = {{7, 3}};
+  expect_identical(Graph(9, one), Graph::legacy_build(9, one));
+}
+
+// Every generator family must survive its declared hints: the generators
+// hand the builder pre-structured edge lists, so a wrong promise would
+// surface here as a mismatch against rebuilding from the raw edge pairs.
+TEST(CsrBuilder, GeneratorFamiliesMatchRebuild) {
+  const auto check = [](const Graph& g) {
+    expect_identical(g, Graph::legacy_build(g.num_nodes(), g.edges()));
+  };
+  check(path_graph(17));
+  check(cycle_graph(12));
+  check(complete_graph(9));
+  check(complete_bipartite(5, 8));
+  check(star_graph(10));
+  check(torus_grid(6, 7));
+  check(random_tree(64, 5));
+  check(random_graph(80, 0.1, 6));
+  check(random_regular(64, 4, 7));
+  CliqueInstanceOptions opt;
+  opt.num_cliques = 16;
+  opt.delta = 8;
+  opt.clique_size = 8;
+  opt.easy_fraction = 0.25;
+  opt.seed = 9;
+  check(clique_blowup_instance(opt).graph);
+  check(clique_ring(8, 6, 3).graph);
+}
+
+}  // namespace
+}  // namespace deltacolor

@@ -16,10 +16,15 @@
 //                  the DELTACOLOR_THREADS env var; default: all cores)
 //   --frontier     sparse activation: re-step only nodes whose closed
 //                  neighborhood changed last round (engine algorithms)
+//   --repeat=N     color only: run N seeds (seed, seed+1, ...) of the
+//                  algorithm over the shared instance as concurrent sweep
+//                  cells; print per-seed rounds and aggregate wall-clock
+//                  statistics instead of a single ledger
 //
 // Graphs are plain edge lists ("n m" header then "u v" per line); colorings
 // are "v color" lines. `color` prints the summary and round ledger, writes
 // the coloring if an output path is given, and exits non-zero on failure.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -27,6 +32,8 @@
 #include <string>
 #include <thread>
 
+#include "bench_support/sweep.hpp"
+#include "common/stats.hpp"
 #include "deltacolor.hpp"
 
 namespace {
@@ -43,7 +50,8 @@ int usage() {
          "  dcolor check <graph> <coloring>\n"
          "flags: --list (registered algorithms), --threads=N (engine "
          "workers, 0 = auto; env DELTACOLOR_THREADS), --frontier (sparse "
-         "activation)\n";
+         "activation), --repeat=N (color: N seeds as sweep cells, "
+         "aggregate stats)\n";
   return 2;
 }
 
@@ -56,6 +64,7 @@ int list_algorithms() {
 }
 
 EngineOptions g_engine;  // from --threads / --frontier
+int g_repeat = 1;        // from --repeat=N
 
 void write_coloring(const std::string& path, const std::vector<Color>& c) {
   std::ofstream os(path);
@@ -139,6 +148,53 @@ int cmd_color(int argc, char** argv) {
   req.engine = g_engine;
   const std::string out = argc > 5 ? argv[5] : "";
 
+  if (g_repeat > 1) {
+    // Batch mode: seeds seed..seed+N-1 run as sweep cells over the one
+    // loaded instance; cells are concurrent when sweep workers are
+    // available (each cell's engine is then serialized, see sweep.hpp).
+    struct Row {
+      bool ok = false;
+      std::int64_t rounds = 0;
+      double wall_ms = 0;
+      std::string summary;
+    };
+    bench::SweepOptions sweep_opt;
+    sweep_opt.cell_engine = g_engine;
+    bench::SweepDriver driver(sweep_opt);
+    const auto rows = driver.run<Row>(
+        static_cast<std::size_t>(g_repeat),
+        [&](std::size_t i, bench::CellContext& ctx) {
+          AlgorithmRequest cell_req;
+          cell_req.seed = req.seed + i;
+          cell_req.engine = ctx.engine();
+          const auto t0 = std::chrono::steady_clock::now();
+          const AlgorithmResult res = entry->run(g, cell_req);
+          Row row;
+          row.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+          row.ok = res.ok;
+          row.rounds = res.ledger.total();
+          row.summary = res.summary;
+          return row;
+        });
+    std::vector<double> rounds, wall;
+    bool all_ok = true;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::cout << "seed " << (req.seed + i) << ": rounds="
+                << rows[i].rounds << " wall_ms=" << rows[i].wall_ms << " "
+                << (rows[i].ok ? "ok" : "INVALID") << " — "
+                << rows[i].summary << "\n";
+      rounds.push_back(static_cast<double>(rows[i].rounds));
+      wall.push_back(rows[i].wall_ms);
+      all_ok = all_ok && rows[i].ok;
+    }
+    std::cout << "rounds:  " << format_summary(summarize(rounds)) << "\n"
+              << "wall_ms: " << format_summary(summarize(wall)) << "\n"
+              << driver.report() << "\n";
+    return all_ok ? 0 : 1;
+  }
+
   const AlgorithmResult res = entry->run(g, req);
   std::cout << res.summary << "\n" << res.ledger.report();
   if (!res.ok) {
@@ -190,6 +246,9 @@ int main(int argc, char** argv) {
       if (n > 0) ThreadPool::set_default_workers(n);
     } else if (arg == "--frontier") {
       g_engine.frontier = true;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      g_repeat = std::atoi(arg.c_str() + 9);
+      if (g_repeat < 1) return usage();
     } else if (arg == "--list") {
       return list_algorithms();
     } else {
