@@ -47,7 +47,7 @@ void run_tables() {
     NodeId n = 0;
     std::int64_t rounds = 0;
   };
-  SweepDriver driver;
+  SweepDriver driver(sweep_options_from_env());
   const auto rows = driver.run<Row>(
       cells.size(), [&](std::size_t i, CellContext& ctx) {
         const Cell& c = cells[i];

@@ -15,6 +15,7 @@
 
 #include <chrono>
 
+#include "bench_support/codec.hpp"
 #include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
@@ -38,27 +39,66 @@ void run_tables() {
     for (int cliques = 32; cliques <= 2048; cliques *= 2)
       cells.push_back({delta, cliques});
 
+  // Scalar row + stored ledger, so the sweep is journalable: with
+  // DELTACOLOR_SWEEP_JOURNAL / _RESUME set, completed cells round-trip
+  // through the JSONL checkpoint instead of re-running.
   struct Row {
     NodeId n = 0;
     double wall_ms = 0;
-    DeltaColoringResult res;
+    bool valid = false;
+    std::int64_t triads = 0;
+    RoundLedger ledger;
   };
-  SweepDriver driver;
-  const auto rows = driver.run<Row>(cells.size(), [&](std::size_t i,
-                                                      CellContext& ctx) {
-    const auto inst = cached_hard(cells[i].cliques, cells[i].delta, 1234,
-                                  &ctx.ledger());
-    auto opt = scaled_options(cells[i].delta);
-    opt.engine = ctx.engine();
-    const auto t0 = std::chrono::steady_clock::now();
-    Row row;
-    row.res = delta_color_dense(inst->graph, opt);
-    row.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    row.n = inst->graph.num_nodes();
-    return row;
-  });
+  const CellCodec<Row> codec{
+      [](const Row& row) {
+        return FieldWriter()
+            .add(row.n)
+            .add(row.wall_ms)
+            .add(row.valid ? 1 : 0)
+            .add(row.triads)
+            .add(encode_ledger(row.ledger))
+            .str();
+      },
+      [](std::string_view text, Row* row) {
+        FieldReader in(text);
+        std::int64_t n = 0;
+        std::string_view ledger;
+        if (!in.next_int(&n) || !in.next_double(&row->wall_ms) ||
+            !in.next_bool(&row->valid) || !in.next_int(&row->triads) ||
+            !in.next(&ledger))
+          return false;
+        row->n = static_cast<NodeId>(n);
+        return decode_ledger(ledger, &row->ledger);
+      }};
+  SweepDriver driver(sweep_options_from_env());
+  const auto result = driver.run_cells<Row>(
+      cells.size(),
+      [&](std::size_t i, CellContext& ctx) {
+        const auto inst = cached_hard(cells[i].cliques, cells[i].delta, 1234,
+                                      &ctx.ledger());
+        auto opt = scaled_options(cells[i].delta);
+        opt.engine = ctx.engine();
+        const auto t0 = std::chrono::steady_clock::now();
+        Row row;
+        const auto res = delta_color_dense(inst->graph, opt);
+        row.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        row.n = inst->graph.num_nodes();
+        row.valid = res.valid;
+        row.triads = res.hard_stats.num_triads;
+        row.ledger = res.ledger;
+        return row;
+      },
+      [&](std::size_t i) {
+        // Instance-cache key fields + algorithm + seed, stable across runs.
+        std::ostringstream key;
+        key << "E1/det/delta=" << cells[i].delta
+            << "/cliques=" << cells[i].cliques << "/seed=1234";
+        return key.str();
+      },
+      &codec);
+  const auto& rows = result.rows;
 
   std::size_t at = 0;
   for (const int delta : {16, 32}) {
@@ -67,18 +107,18 @@ void run_tables() {
     std::vector<double> ns, heg_rounds, totals;
     for (int cliques = 32; cliques <= 2048; cliques *= 2, ++at) {
       const Row& row = rows[at];
-      const auto& lg = row.res.ledger;
+      const auto& lg = row.ledger;
       BenchJson("E1")
           .field("delta", delta)
           .field("n", row.n)
-          .field("valid", row.res.valid)
+          .field("valid", row.valid)
           .field("wall_ms", row.wall_ms)
           .ledger(lg)
           .print();
       t.row(row.n, lg.total(), lg.phase_total("phase1-matching"),
             lg.phase_total("phase1-heg"), lg.phase_total("phase2-split"),
             lg.phase_total("phase4a-pairs") + lg.phase_total("phase4b-rest"),
-            row.res.hard_stats.num_triads, row.res.valid ? "yes" : "NO");
+            row.triads, row.valid ? "yes" : "NO");
       ns.push_back(row.n);
       heg_rounds.push_back(
           static_cast<double>(lg.phase_total("phase1-heg")));

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <thread>
 
+#include "bench_support/codec.hpp"
 #include "bench_support/sweep.hpp"
 #include "bench_support/table.hpp"
 #include "bench_support/workloads.hpp"
@@ -30,39 +31,88 @@ void run_tables() {
   for (int cliques = 32; cliques <= 2048; cliques *= 2)
     clique_grid.push_back(cliques);
 
+  // Scalar row + stored ledger, journalable under
+  // DELTACOLOR_SWEEP_JOURNAL / _RESUME (see sweep.hpp): completed cells
+  // round-trip through the JSONL checkpoint instead of re-running.
   struct Row {
     NodeId n = 0;
-    RandomizedResult res;
+    bool valid = false;
+    std::int64_t tnodes = 0;
+    std::int64_t failed = 0;
+    std::int64_t components = 0;
+    std::int64_t max_comp_vertices = 0;
+    std::int64_t max_comp_rounds = 0;
+    RoundLedger ledger;
   };
-  SweepDriver driver;
-  const auto rows = driver.run<Row>(
-      clique_grid.size(), [&](std::size_t i, CellContext& ctx) {
+  const CellCodec<Row> codec{
+      [](const Row& row) {
+        return FieldWriter()
+            .add(row.n)
+            .add(row.valid ? 1 : 0)
+            .add(row.tnodes)
+            .add(row.failed)
+            .add(row.components)
+            .add(row.max_comp_vertices)
+            .add(row.max_comp_rounds)
+            .add(encode_ledger(row.ledger))
+            .str();
+      },
+      [](std::string_view text, Row* row) {
+        FieldReader in(text);
+        std::int64_t n = 0;
+        std::string_view ledger;
+        if (!in.next_int(&n) || !in.next_bool(&row->valid) ||
+            !in.next_int(&row->tnodes) || !in.next_int(&row->failed) ||
+            !in.next_int(&row->components) ||
+            !in.next_int(&row->max_comp_vertices) ||
+            !in.next_int(&row->max_comp_rounds) || !in.next(&ledger))
+          return false;
+        row->n = static_cast<NodeId>(n);
+        return decode_ledger(ledger, &row->ledger);
+      }};
+  SweepDriver driver(sweep_options_from_env());
+  const auto result = driver.run_cells<Row>(
+      clique_grid.size(),
+      [&](std::size_t i, CellContext& ctx) {
         const int cliques = clique_grid[i];
         const auto inst = cached_hard(cliques, 16, 21, &ctx.ledger());
         auto opt = scaled_randomized_options(16, 1000 + cliques);
         opt.engine = ctx.engine();
+        const auto res = randomized_delta_color(inst->graph, opt);
         Row row;
-        row.res = randomized_delta_color(inst->graph, opt);
         row.n = inst->graph.num_nodes();
+        row.valid = res.valid;
+        row.tnodes = res.stats.tnodes_placed;
+        row.failed = res.stats.failed_cliques;
+        row.components = res.stats.components;
+        row.max_comp_vertices = res.stats.max_component_vertices;
+        row.max_comp_rounds = res.stats.max_component_rounds;
+        row.ledger = res.ledger;
         return row;
-      });
+      },
+      [&](std::size_t i) {
+        std::ostringstream key;
+        key << "E6/rand/delta=16/cliques=" << clique_grid[i]
+            << "/inst_seed=21/alg_seed=" << (1000 + clique_grid[i]);
+        return key.str();
+      },
+      &codec);
+  const auto& rows = result.rows;
 
   Table t({"n", "rounds", "tnodes", "failed", "components", "maxCompSize",
            "maxCompRounds", "valid"});
   std::vector<double> ns, comp_sizes;
   for (const Row& row : rows) {
-    const auto& res = row.res;
     BenchJson("E6")
         .field("n", row.n)
-        .field("valid", res.valid)
-        .ledger(res.ledger)
+        .field("valid", row.valid)
+        .ledger(row.ledger)
         .print();
-    t.row(row.n, res.ledger.total(), res.stats.tnodes_placed,
-          res.stats.failed_cliques, res.stats.components,
-          res.stats.max_component_vertices, res.stats.max_component_rounds,
-          res.valid ? "yes" : "NO");
+    t.row(row.n, row.ledger.total(), row.tnodes, row.failed, row.components,
+          row.max_comp_vertices, row.max_comp_rounds,
+          row.valid ? "yes" : "NO");
     ns.push_back(row.n);
-    comp_sizes.push_back(res.stats.max_component_vertices);
+    comp_sizes.push_back(static_cast<double>(row.max_comp_vertices));
   }
   t.print();
   const LinearFit fit = fit_log(ns, comp_sizes);
@@ -83,8 +133,12 @@ void run_tables() {
   for (const int depth : {1, 2, 3})
     for (const int cliques : {128, 512, 2048})
       depth_cells.push_back({depth, cliques});
+  struct DepthRow {
+    NodeId n = 0;
+    RandomizedResult res;
+  };
   SweepDriver depth_driver;
-  const auto depth_rows = depth_driver.run<Row>(
+  const auto depth_rows = depth_driver.run<DepthRow>(
       depth_cells.size(), [&](std::size_t i, CellContext& ctx) {
         const DepthCell& c = depth_cells[i];
         const auto inst = cached_hard(c.cliques, 16, 21, &ctx.ledger());
@@ -92,7 +146,7 @@ void run_tables() {
         opt.layer_depth = c.depth;
         opt.placement_rounds = 2;  // weaker placement: more failures
         opt.engine = ctx.engine();
-        Row row;
+        DepthRow row;
         row.res = randomized_delta_color(inst->graph, opt);
         row.n = inst->graph.num_nodes();
         return row;

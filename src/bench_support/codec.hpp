@@ -1,0 +1,161 @@
+// Field codecs for sweep-journal checkpointing.
+//
+// A bench that wants kill/--resume coverage serializes its Row through a
+// CellCodec (see sweep.hpp). Rows are flat records of scalars plus,
+// usually, a RoundLedger, so this header provides the three pieces every
+// such codec needs: a writer/reader pair over unit-separated fields, and a
+// RoundLedger round-trip that preserves per-phase rounds and wall-clock
+// (merge-compatible: decoding re-plays charge()/charge_time() in
+// first-charge order).
+//
+// The wire format is text with ASCII separators — US (\x1f) between row
+// fields, RS (\x1e) between ledger entries, GS (\x1d) between the ledger's
+// rounds and time sections — none of which appear in phase labels or
+// numeric fields. The journal JSON-escapes the payload, so the separators
+// survive the JSONL file intact. Decoders return false on any malformed
+// or foreign payload; the sweep driver treats that as a cache miss and
+// simply re-runs the cell.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "local/ledger.hpp"
+
+namespace deltacolor::bench {
+
+/// Appends '\x1f'-separated fields; streams anything ostream-printable.
+class FieldWriter {
+ public:
+  template <typename T>
+  FieldWriter& add(const T& value) {
+    if (!first_) os_ << '\x1f';
+    first_ = false;
+    os_ << value;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+/// Splits '\x1f'-separated fields back out. Every next_* returns false on
+/// exhaustion or a non-numeric field, so decoders can chain with &&.
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view text) : text_(text) {}
+
+  bool next(std::string_view* field) {
+    if (done_) return false;
+    const std::size_t sep = text_.find('\x1f', pos_);
+    if (sep == std::string_view::npos) {
+      *field = text_.substr(pos_);
+      done_ = true;
+    } else {
+      *field = text_.substr(pos_, sep - pos_);
+      pos_ = sep + 1;
+    }
+    return true;
+  }
+
+  bool next_int(std::int64_t* out) {
+    std::string_view field;
+    if (!next(&field) || field.empty()) return false;
+    char* rest = nullptr;
+    const std::string buf(field);
+    *out = std::strtoll(buf.c_str(), &rest, 10);
+    return rest != nullptr && *rest == '\0';
+  }
+
+  bool next_bool(bool* out) {
+    std::int64_t n = 0;
+    if (!next_int(&n)) return false;
+    *out = n != 0;
+    return true;
+  }
+
+  bool next_double(double* out) {
+    std::string_view field;
+    if (!next(&field) || field.empty()) return false;
+    char* rest = nullptr;
+    const std::string buf(field);
+    *out = std::strtod(buf.c_str(), &rest);
+    return rest != nullptr && *rest == '\0';
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+};
+
+/// Serializes per-phase rounds and wall-clock in first-charge order:
+///   name=rounds \x1e ... \x1d name=ms \x1e ...
+inline std::string encode_ledger(const RoundLedger& ledger) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  bool first = true;
+  for (const auto& [phase, rounds] : ledger.phases()) {
+    if (!first) os << '\x1e';
+    first = false;
+    os << phase << '=' << rounds;
+  }
+  os << '\x1d';
+  first = true;
+  for (const auto& [phase, ms] : ledger.times()) {
+    if (!first) os << '\x1e';
+    first = false;
+    os << phase << '=' << ms;
+  }
+  return os.str();
+}
+
+/// Re-plays an encode_ledger payload into `out` (which is clear()ed
+/// first). Returns false — leaving `out` in an unspecified but valid
+/// state — on malformed input.
+inline bool decode_ledger(std::string_view text, RoundLedger* out) {
+  out->clear();
+  const std::size_t gs = text.find('\x1d');
+  if (gs == std::string_view::npos) return false;
+  const auto each = [](std::string_view section, const auto& apply) {
+    while (!section.empty()) {
+      const std::size_t rs = section.find('\x1e');
+      const std::string_view entry = section.substr(0, rs);
+      section = rs == std::string_view::npos ? std::string_view{}
+                                             : section.substr(rs + 1);
+      const std::size_t eq = entry.rfind('=');
+      if (eq == std::string_view::npos) return false;
+      if (!apply(entry.substr(0, eq), entry.substr(eq + 1))) return false;
+    }
+    return true;
+  };
+  const bool rounds_ok =
+      each(text.substr(0, gs),
+           [&](std::string_view phase, std::string_view value) {
+             char* rest = nullptr;
+             const std::string buf(value);
+             const std::int64_t rounds = std::strtoll(buf.c_str(), &rest, 10);
+             if (rest == nullptr || *rest != '\0') return false;
+             out->charge(phase, rounds);
+             return true;
+           });
+  if (!rounds_ok) return false;
+  return each(text.substr(gs + 1),
+              [&](std::string_view phase, std::string_view value) {
+                char* rest = nullptr;
+                const std::string buf(value);
+                const double ms = std::strtod(buf.c_str(), &rest);
+                if (rest == nullptr || *rest != '\0') return false;
+                out->charge_time(phase, ms);
+                return true;
+              });
+}
+
+}  // namespace deltacolor::bench

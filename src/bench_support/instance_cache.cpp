@@ -27,6 +27,7 @@ template <typename T, typename BuildFn>
 std::shared_ptr<const T> InstanceCache::get_or_build(
     std::unordered_map<std::string, std::shared_ptr<Slot<T>>>& map,
     const std::string& key, RoundLedger* ledger, BuildFn&& build) {
+  using State = typename Slot<T>::State;
   std::shared_ptr<Slot<T>> slot;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -34,22 +35,45 @@ std::shared_ptr<const T> InstanceCache::get_or_build(
     if (!entry) entry = std::make_shared<Slot<T>>();
     slot = entry;
   }
-  bool built = false;
-  std::call_once(slot->once, [&] {
-    const double start = now_ms();
-    slot->value = std::make_shared<const T>(build());
-    const double elapsed = now_ms() - start;
-    built = true;
-    if (ledger != nullptr) ledger->charge_time("graph-build", elapsed);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
-    stats_.build_ms += elapsed;
-  });
-  if (!built) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(slot->mu);
+  // Wait out an in-flight build. Waking on kEmpty means the builder's
+  // generator threw — loop around and claim the build ourselves.
+  while (slot->state == State::kBuilding)
+    slot->cv.wait(lock,
+                  [&] { return slot->state != State::kBuilding; });
+  if (slot->state == State::kReady) {
+    std::shared_ptr<const T> value = slot->value;
+    lock.unlock();
+    std::lock_guard<std::mutex> stats_lock(mu_);
     ++stats_.hits;
+    return value;
   }
-  return slot->value;
+  slot->state = State::kBuilding;
+  lock.unlock();
+  const double start = now_ms();
+  std::shared_ptr<const T> value;
+  try {
+    value = std::make_shared<const T>(build());
+  } catch (...) {
+    // Exception-safe single-flight: the slot returns to empty and every
+    // waiter wakes; the next requester rebuilds, only we see the throw.
+    lock.lock();
+    slot->state = State::kEmpty;
+    lock.unlock();
+    slot->cv.notify_all();
+    throw;
+  }
+  const double elapsed = now_ms() - start;
+  lock.lock();
+  slot->value = value;
+  slot->state = State::kReady;
+  lock.unlock();
+  slot->cv.notify_all();
+  if (ledger != nullptr) ledger->charge_time("graph-build", elapsed);
+  std::lock_guard<std::mutex> stats_lock(mu_);
+  ++stats_.misses;
+  stats_.build_ms += elapsed;
+  return value;
 }
 
 std::shared_ptr<const CliqueInstance> InstanceCache::blowup(
@@ -90,6 +114,13 @@ std::shared_ptr<const Hypergraph> InstanceCache::hypergraph(
   return get_or_build(hypergraphs_, key.str(), ledger, [&] {
     return random_hypergraph(num_vertices, delta, rank, seed);
   });
+}
+
+std::shared_ptr<const Graph> InstanceCache::custom_graph(
+    const std::string& key, const std::function<Graph()>& build,
+    RoundLedger* ledger) {
+  return get_or_build(graphs_, "custom/" + key, ledger,
+                      [&] { return build(); });
 }
 
 InstanceCache::Stats InstanceCache::stats() const {

@@ -16,15 +16,23 @@
 //    generators already install shuffled ids keyed by seed, so benches
 //    never need to.
 //  * Generation is single-flight: under concurrent SweepDriver cells the
-//    first requester builds while the rest block on a shared future, so a
-//    key is never generated twice and never observed half-built.
+//    first requester builds while the rest block on the slot's condition
+//    variable, so a key is never generated twice and never observed
+//    half-built. Single-flight is *exception-safe*: a generator that
+//    throws wakes every waiter, the slot returns to empty, and the next
+//    requester rebuilds — the exception propagates only to the requester
+//    whose call ran the generator. (The previous std::once_flag latch
+//    could not do this: on libstdc++ an exception inside call_once leaves
+//    concurrent waiters blocked in pthread_once forever.)
 //  * Wall-clock spent generating is charged to the "graph-build" phase of
 //    the ledger passed by the *building* requester (cache hits charge
 //    nothing), keeping instance cost separated from per-cell algorithm
 //    cost in sweep ledgers.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,6 +67,15 @@ class InstanceCache {
                                                int rank, std::uint64_t seed,
                                                RoundLedger* ledger = nullptr);
 
+  /// Arbitrary keyed graph with a caller-supplied generator, under the
+  /// same single-flight slot discipline as the named families (the key is
+  /// namespaced "custom/<key>"). Used by benches with bespoke instances,
+  /// dcolor's file loader, and the exception-safety regression tests
+  /// (`build` may throw; see the single-flight rules above).
+  std::shared_ptr<const Graph> custom_graph(
+      const std::string& key, const std::function<Graph()>& build,
+      RoundLedger* ledger = nullptr);
+
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -70,10 +87,16 @@ class InstanceCache {
   void clear();
 
  private:
+  /// Single-flight build slot: a small state machine instead of a
+  /// std::once_flag, because the latch must survive a throwing generator
+  /// (kBuilding -> kEmpty + notify_all; the next requester rebuilds).
   template <typename T>
   struct Slot {
-    std::once_flag once;             // single-flight build latch
-    std::shared_ptr<const T> value;  // set exactly once, inside the latch
+    enum class State { kEmpty, kBuilding, kReady };
+    std::mutex mu;
+    std::condition_variable cv;
+    State state = State::kEmpty;
+    std::shared_ptr<const T> value;  // set exactly once, before kReady
   };
 
   template <typename T, typename BuildFn>

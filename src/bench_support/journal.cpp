@@ -1,0 +1,166 @@
+#include "bench_support/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace deltacolor::bench {
+
+namespace {
+
+/// Unescapes the JSON string starting at line[pos] (just past the opening
+/// quote), writing into *out and leaving pos just past the closing quote.
+/// False on a torn line (unterminated string / bad escape).
+bool unescape_json(std::string_view line, std::size_t& pos,
+                   std::string* out) {
+  out->clear();
+  while (pos < line.size()) {
+    const char c = line[pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (pos >= line.size()) return false;
+    const char e = line[pos++];
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (pos + 4 > line.size()) return false;
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = line[pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F')
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // The writer only emits \u00XX (control bytes); anything wider is
+        // foreign input we pass through byte-truncated.
+        out->push_back(static_cast<char>(code & 0xff));
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;
+}
+
+/// Finds `"name":"<string>"` in line; false when absent or torn.
+bool extract_string(std::string_view line, std::string_view name,
+                    std::string* out) {
+  const std::string pattern = "\"" + std::string(name) + "\":\"";
+  const std::size_t at = line.find(pattern);
+  if (at == std::string_view::npos) return false;
+  std::size_t pos = at + pattern.size();
+  return unescape_json(line, pos, out);
+}
+
+/// Finds `"name":<int>` in line; false when absent or malformed.
+bool extract_int(std::string_view line, std::string_view name, int* out) {
+  const std::string pattern = "\"" + std::string(name) + "\":";
+  const std::size_t at = line.find(pattern);
+  if (at == std::string_view::npos) return false;
+  std::size_t pos = at + pattern.size();
+  bool any = false;
+  int value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + (line[pos++] - '0');
+    any = true;
+  }
+  if (!any) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string SweepJournal::escape_json(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string SweepJournal::format_line(const JournalEntry& entry) {
+  std::ostringstream os;
+  os << "{\"key\":\"" << escape_json(entry.key) << "\",\"status\":\""
+     << to_string(entry.status) << "\",\"attempts\":" << entry.attempts
+     << ",\"category\":\"" << escape_json(entry.category)
+     << "\",\"error\":\"" << escape_json(entry.error) << "\",\"payload\":\""
+     << escape_json(entry.payload) << "\"}";
+  return os.str();
+}
+
+bool SweepJournal::parse_line(std::string_view line, JournalEntry* out) {
+  JournalEntry entry;
+  std::string status;
+  if (!extract_string(line, "key", &entry.key) || entry.key.empty())
+    return false;
+  if (!extract_string(line, "status", &status) ||
+      !parse_cell_status(status, &entry.status))
+    return false;
+  if (!extract_int(line, "attempts", &entry.attempts)) return false;
+  extract_string(line, "category", &entry.category);
+  extract_string(line, "error", &entry.error);
+  if (!extract_string(line, "payload", &entry.payload)) return false;
+  *out = entry;
+  return true;
+}
+
+SweepJournal::SweepJournal(const std::string& path, bool resume)
+    : path_(path), resume_(resume) {
+  if (resume_) {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      JournalEntry entry;
+      if (parse_line(line, &entry)) loaded_[entry.key] = std::move(entry);
+      // Torn or foreign lines (a SIGKILL mid-write) are skipped; the cell
+      // simply re-runs.
+    }
+  }
+  out_.open(path_, resume_ ? std::ios::app : std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("cannot open sweep journal for writing: " +
+                             path_);
+}
+
+const JournalEntry* SweepJournal::lookup(const std::string& key) const {
+  const auto it = loaded_.find(key);
+  return it == loaded_.end() ? nullptr : &it->second;
+}
+
+void SweepJournal::record(const JournalEntry& entry) {
+  const std::string line = format_line(entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+}  // namespace deltacolor::bench

@@ -1,0 +1,96 @@
+// JSONL sweep journal: the checkpoint-resume substrate for long sweeps.
+//
+// Every completed cell appends one line — flushed immediately, so a killed
+// process loses at most the cell that was mid-flight — of the form
+//
+//   {"key":"<cache-key/alg/seed>","status":"ok|retried|quarantined",
+//    "attempts":N,"category":"<fault-category>","error":"<what()>",
+//    "payload":"<codec-encoded row>"}
+//
+// `key` identifies the cell across processes: instance-cache key +
+// algorithm name + seed (the caller's key_fn builds it), never the cell
+// index, so a regridded sweep still resumes the cells it recognizes. A
+// resumed run (`--resume`) loads the journal first and serves ok/retried
+// entries from their recorded payload; quarantined entries are re-run (the
+// operator re-running a sweep wants another shot at the failures, not a
+// cached failure report).
+//
+// The writer is append-only and line-atomic under a mutex; the parser
+// accepts exactly what the writer emits (string fields JSON-escaped,
+// unknown fields ignored) and skips torn trailing lines, which is what a
+// SIGKILL mid-write leaves behind.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace deltacolor::bench {
+
+/// Terminal status of a sweep cell (the `status` table column).
+enum class CellStatus { kOk, kRetried, kQuarantined };
+
+constexpr std::string_view to_string(CellStatus s) {
+  switch (s) {
+    case CellStatus::kOk: return "ok";
+    case CellStatus::kRetried: return "retried";
+    case CellStatus::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+inline bool parse_cell_status(std::string_view name, CellStatus* out) {
+  if (name == "ok") *out = CellStatus::kOk;
+  else if (name == "retried") *out = CellStatus::kRetried;
+  else if (name == "quarantined") *out = CellStatus::kQuarantined;
+  else return false;
+  return true;
+}
+
+struct JournalEntry {
+  std::string key;
+  CellStatus status = CellStatus::kOk;
+  int attempts = 1;
+  std::string category;  ///< fault-category name; empty unless quarantined
+  std::string error;     ///< final failure message; empty when ok
+  std::string payload;   ///< codec-encoded row; empty when quarantined
+};
+
+class SweepJournal {
+ public:
+  /// Opens `path` for appending. With resume=true the existing file (the
+  /// journal of the interrupted run) is parsed first and its entries
+  /// served via lookup(); without resume an existing file is truncated.
+  /// Throws std::runtime_error when the path cannot be opened for writing.
+  SweepJournal(const std::string& path, bool resume);
+
+  bool resuming() const { return resume_; }
+  const std::string& path() const { return path_; }
+  /// Entries loaded from the pre-existing journal (resume mode only).
+  std::size_t loaded() const { return loaded_.size(); }
+
+  /// The loaded entry for `key`, or nullptr. Stable for the journal's
+  /// lifetime (the loaded map is never mutated after construction).
+  const JournalEntry* lookup(const std::string& key) const;
+
+  /// Appends one line and flushes it. Thread-safe.
+  void record(const JournalEntry& entry);
+
+  // Exposed for tests and the parser's reuse in tools.
+  static std::string escape_json(std::string_view raw);
+  static std::string format_line(const JournalEntry& entry);
+  /// Parses one journal line; false on torn/foreign lines.
+  static bool parse_line(std::string_view line, JournalEntry* out);
+
+ private:
+  std::string path_;
+  bool resume_ = false;
+  std::unordered_map<std::string, JournalEntry> loaded_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace deltacolor::bench

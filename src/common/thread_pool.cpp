@@ -58,6 +58,7 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end,
   {
     std::lock_guard<std::mutex> lock(mu_);
     DC_CHECK_MSG(job_ == nullptr, "ThreadPool::for_range is not reentrant");
+    errors_.assign(static_cast<std::size_t>(num_workers_), nullptr);
     job_ = &fn;
     job_begin_ = begin;
     job_end_ = end;
@@ -66,10 +67,22 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end,
   }
   job_cv_.notify_all();
   const auto [lo, hi] = slice(begin, end, 0, num_workers_);
-  fn(0, lo, hi);
+  try {
+    fn(0, lo, hi);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
+  // Rethrow the lowest-worker-index failure only after every chunk has
+  // finished or failed — the pool is back in a clean state either way.
+  for (std::exception_ptr& error : errors_)
+    if (error) {
+      const std::exception_ptr first = error;
+      lock.unlock();
+      std::rethrow_exception(first);
+    }
 }
 
 void ThreadPool::worker_loop(int worker) {
@@ -87,7 +100,11 @@ void ThreadPool::worker_loop(int worker) {
       end = job_end_;
     }
     const auto [lo, hi] = slice(begin, end, worker, num_workers_);
-    (*job)(worker, lo, hi);
+    try {
+      (*job)(worker, lo, hi);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(worker)] = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --pending_;

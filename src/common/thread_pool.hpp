@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,6 +39,13 @@ class ThreadPool {
   /// Splits [begin, end) into num_workers() contiguous chunks and runs
   /// fn on each, blocking until every chunk has finished. The calling
   /// thread executes chunk 0 itself. Reentrant calls are not allowed.
+  ///
+  /// Exception safety: a chunk that throws does not terminate the process
+  /// (worker threads catch into per-worker slots); after every chunk has
+  /// finished or failed, the lowest-worker-index exception is rethrown on
+  /// the calling thread. The pool itself stays usable — this is what lets
+  /// a structured CellError thrown inside an engine round unwind to the
+  /// sweep driver's retry/quarantine policy.
   void for_range(std::size_t begin, std::size_t end, const RangeFn& fn);
 
   /// Library-wide default worker count (see resolution order above).
@@ -66,6 +74,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable job_cv_;
   std::condition_variable done_cv_;
+  // Per-worker exception slots for the current job (disjoint writes; read
+  // by the caller after the join barrier).
+  std::vector<std::exception_ptr> errors_;
   const RangeFn* job_ = nullptr;
   std::size_t job_begin_ = 0;
   std::size_t job_end_ = 0;

@@ -7,6 +7,7 @@
 #include "core/hardness.hpp"
 #include "core/loopholes.hpp"
 #include "graph/checker.hpp"
+#include "local/oracle.hpp"
 
 namespace deltacolor {
 
@@ -69,15 +70,24 @@ DeltaColoringResult delta_color_dense(const Graph& g,
     for (const Loophole& l : outcome.demotions) loopholes.add(g, l);
     ++res.demotion_retries;
   }
+  validate_partial_coloring(g, res.color, "hard-cliques", options.validate);
 
   // Step 3: color easy almost cliques and loopholes (Algorithm 3).
   res.easy_stats =
       color_easy_and_loopholes(g, loopholes, res.color, lctx);
+  validate_partial_coloring(g, res.color, "easy", options.validate);
 
-  if (options.verify) {
+  if (options.verify || options.validate != ValidateMode::kOff) {
+    if (options.validate != ValidateMode::kOff && FaultInjector::armed())
+      FaultInjector::global().maybe_corrupt_coloring("final", g, res.color);
     res.valid = is_delta_coloring(g, res.color);
-    DC_CHECK_MSG(res.valid, "final coloring invalid: "
-                                << check_coloring(g, res.color).describe());
+    if (options.validate != ValidateMode::kOff) {
+      validate_final_coloring(g, res.color, res.valid, "final",
+                              options.validate);
+    } else {
+      DC_CHECK_MSG(res.valid, "final coloring invalid: "
+                                  << check_coloring(g, res.color).describe());
+    }
   }
   return res;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "acd/acd.hpp"
+#include "common/errors.hpp"
 #include "core/easy_coloring.hpp"
 #include "core/hard_coloring.hpp"
 #include "graph/graph.hpp"
@@ -27,6 +28,12 @@ struct DeltaColoringOptions {
   EngineOptions engine;
   /// Run the final validity checker and record the outcome.
   bool verify = true;
+  /// Opt-in validation oracle (errors.hpp): kEnd turns a final-checker
+  /// failure into a structured invariant-violation CellError (instead of
+  /// the legacy CHECK abort); kPhase additionally checks the partial
+  /// coloring at every pipeline phase boundary. kOff is bit-identical to
+  /// the pre-oracle behavior.
+  ValidateMode validate = ValidateMode::kOff;
   /// Maximum demotion retries (phi-collision witnesses re-classifying a
   /// clique as easy; only reachable on multi-cross-edge instances).
   int max_retries = 8;

@@ -42,6 +42,14 @@ ColoringReport check_coloring(const Graph& g,
   return r;
 }
 
+std::optional<std::pair<NodeId, NodeId>> find_partial_conflict(
+    const Graph& g, const std::vector<Color>& color) {
+  DC_CHECK(color.size() == g.num_nodes());
+  for (const auto& [u, v] : g.edges())
+    if (color[u] != kNoColor && color[u] == color[v]) return {{u, v}};
+  return std::nullopt;
+}
+
 bool is_proper_coloring(const Graph& g, const std::vector<Color>& color,
                         int num_colors) {
   const auto r = check_coloring(g, color);

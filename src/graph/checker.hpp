@@ -3,7 +3,9 @@
 // reporting a measurement.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -22,6 +24,14 @@ struct ColoringReport {
 };
 
 ColoringReport check_coloring(const Graph& g, const std::vector<Color>& color);
+
+/// First monochromatic edge of a *partial* coloring (edges with an
+/// uncolored endpoint are ignored), or nullopt when the partial coloring
+/// is proper. Every pipeline in the library keeps its partial coloring
+/// proper between phases, which makes this the inter-phase invariant the
+/// --validate=phase oracle enforces.
+std::optional<std::pair<NodeId, NodeId>> find_partial_conflict(
+    const Graph& g, const std::vector<Color>& color);
 
 /// True iff `color` is a complete proper coloring with colors in
 /// {0, .., num_colors-1}.

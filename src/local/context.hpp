@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "local/faults.hpp"
 #include "local/ledger.hpp"
 #include "local/sync_runner.hpp"
 
@@ -77,8 +78,13 @@ class LocalContext {
     return stack_.back();
   }
 
-  /// Charges rounds to the innermost phase.
+  /// Charges rounds to the innermost phase. While a FaultInjector is
+  /// armed, a matching round-budget spec inflates the charge here — so the
+  /// sweep driver's *real* budget enforcement trips, instead of a fake
+  /// error path that never exercises the recovery code.
   void charge(std::int64_t rounds, std::int64_t dilation = 1) {
+    if (FaultInjector::armed())
+      rounds += FaultInjector::global().on_phase_charge(phase());
     ledger_->charge(phase(), rounds, dilation);
   }
 

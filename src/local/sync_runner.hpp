@@ -43,6 +43,7 @@
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/graph.hpp"
+#include "local/faults.hpp"
 
 namespace deltacolor {
 
@@ -181,6 +182,8 @@ class SyncRunner {
     const NodeId n = g_.num_nodes();
     int rounds = 0;
     while (rounds < max_rounds && !done(cur_)) {
+      if (FaultInjector::armed())
+        FaultInjector::global().on_engine_round(rounds);
       const int r = rounds;
       each_chunk(n, [&](int, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
@@ -239,6 +242,8 @@ class SyncRunner {
     // therefore re-activated.
     int rounds = 0;
     while (rounds < max_rounds && !done(cur_)) {
+      if (FaultInjector::armed())
+        FaultInjector::global().on_engine_round(rounds);
       const int r = rounds;
       if (dense) {
         for (auto& list : chunk_changed_) list.clear();

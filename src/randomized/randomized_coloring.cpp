@@ -13,6 +13,7 @@
 #include "core/loopholes.hpp"
 #include "graph/checker.hpp"
 #include "graph/subgraph.hpp"
+#include "local/oracle.hpp"
 #include "primitives/list_coloring.hpp"
 
 namespace deltacolor {
@@ -166,6 +167,8 @@ RandomizedResult randomized_delta_color(const Graph& g,
     res.ledger.charge("rand-preshattering", 2 * options.spacing + 3);
   }
   end_phase("rand-preshattering");
+  validate_partial_coloring(g, res.color, "rand-preshattering",
+                            options.validate);
   for (const int c : hard_acs)
     if (placed[static_cast<std::size_t>(c)]) ++res.stats.tnodes_placed;
   res.stats.failed_cliques =
@@ -367,6 +370,8 @@ RandomizedResult randomized_delta_color(const Graph& g,
     res.stats.max_component_rounds = static_cast<int>(max_comp_rounds);
     res.ledger.charge("rand-postshattering", max_comp_rounds);
     end_phase("rand-postshattering");
+    validate_partial_coloring(g, res.color, "rand-postshattering",
+                              options.validate);
   }
 
   // ------------------------------------------------------ Post-processing
@@ -390,13 +395,23 @@ RandomizedResult randomized_delta_color(const Graph& g,
     deg_plus_one_list_color(g, active, full_lists, res.color, lctx);
   }
   end_phase("rand-postprocessing");
+  validate_partial_coloring(g, res.color, "rand-postprocessing",
+                            options.validate);
   color_easy_and_loopholes(g, loopholes, res.color, lctx, "rand-easy");
   end_phase("rand-easy");
+  validate_partial_coloring(g, res.color, "rand-easy", options.validate);
 
-  if (options.verify) {
+  if (options.verify || options.validate != ValidateMode::kOff) {
+    if (options.validate != ValidateMode::kOff && FaultInjector::armed())
+      FaultInjector::global().maybe_corrupt_coloring("final", g, res.color);
     res.valid = is_delta_coloring(g, res.color);
-    DC_CHECK_MSG(res.valid, "randomized coloring invalid: "
-                                << check_coloring(g, res.color).describe());
+    if (options.validate != ValidateMode::kOff) {
+      validate_final_coloring(g, res.color, res.valid, "final",
+                              options.validate);
+    } else {
+      DC_CHECK_MSG(res.valid, "randomized coloring invalid: "
+                                  << check_coloring(g, res.color).describe());
+    }
   }
   return res;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "acd/acd.hpp"
+#include "common/errors.hpp"
 #include "core/delta_coloring.hpp"
 #include "graph/graph.hpp"
 #include "local/ledger.hpp"
@@ -54,6 +55,12 @@ struct RandomizedOptions {
   /// uncovered remainder forms the shattered components.
   int layer_depth = 3;
   bool verify = true;
+  /// Opt-in validation oracle (errors.hpp): kEnd turns a final-checker
+  /// failure into a structured invariant-violation CellError; kPhase
+  /// additionally checks the partial coloring after pre-shattering,
+  /// post-shattering, post-processing, and the easy phase (the partial
+  /// coloring stays proper throughout — T-node pairs are non-adjacent).
+  ValidateMode validate = ValidateMode::kOff;
 };
 
 struct RandomizedStats {

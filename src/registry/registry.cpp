@@ -23,6 +23,7 @@ AlgorithmResult run_det(const Graph& g, const AlgorithmRequest& req) {
   DeltaColoringOptions opt = scaled_options(g.max_degree());
   opt.engine = req.engine;
   opt.hard.seed = req.seed;
+  opt.validate = req.validate;
   auto res = delta_color_dense(g, opt);
   AlgorithmResult out;
   out.color = std::move(res.color);
@@ -37,6 +38,7 @@ AlgorithmResult run_rand(const Graph& g, const AlgorithmRequest& req) {
   RandomizedOptions opt =
       scaled_randomized_options(g.max_degree(), req.seed);
   opt.engine = req.engine;
+  opt.validate = req.validate;
   auto res = randomized_delta_color(g, opt);
   AlgorithmResult out;
   out.color = std::move(res.color);

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/errors.hpp"
 #include "graph/graph.hpp"
 #include "local/context.hpp"
 #include "local/ledger.hpp"
@@ -24,6 +25,11 @@ struct AlgorithmRequest {
   /// Worker threads / frontier mode for every engine-stepped stage.
   /// Results are bit-identical across settings.
   EngineOptions engine;
+  /// Opt-in validation oracle (dcolor --validate). The composed pipelines
+  /// (det, rand) honor kEnd / kPhase by throwing structured CellErrors on
+  /// invariant violations; primitive entries ignore it (their checkers
+  /// already run unconditionally and set `ok`).
+  ValidateMode validate = ValidateMode::kOff;
 };
 
 /// Uniform output. Coloring algorithms fill `color` and set `palette` to

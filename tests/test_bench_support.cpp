@@ -86,6 +86,69 @@ TEST(InstanceCache, SingleFlightUnderConcurrency) {
       << "concurrent requesters must coalesce onto one generation";
 }
 
+TEST(InstanceCache, ThrowingGeneratorDoesNotWedgeTheSlot) {
+  // Regression: with the old std::once_flag latch, a generator throwing
+  // inside the single-flight section left concurrent waiters blocked
+  // forever (libstdc++ pthread_once). The slot must instead return to
+  // empty so the next requester rebuilds.
+  InstanceCache& cache = InstanceCache::global();
+  cache.clear();
+  std::atomic<int> builds{0};
+  const auto failing = [&]() -> Graph {
+    builds.fetch_add(1);
+    throw std::runtime_error("generator failed");
+  };
+  EXPECT_THROW((void)cache.custom_graph("flaky", failing),
+               std::runtime_error);
+  // Second call must attempt a fresh build (not hang, not serve a
+  // half-built value) and succeed with a working generator.
+  const auto built = cache.custom_graph("flaky", [&]() {
+    builds.fetch_add(1);
+    return Graph(2, {{0, 1}});
+  });
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(built->num_nodes(), 2u);
+  EXPECT_EQ(builds.load(), 2) << "one failed build + one rebuild";
+  // And the slot is now ready: further calls are hits, generator unused.
+  const auto again = cache.custom_graph(
+      "flaky", [&]() -> Graph { throw std::logic_error("must not run"); });
+  EXPECT_EQ(again.get(), built.get());
+}
+
+TEST(InstanceCache, ThrowingGeneratorReleasesConcurrentWaiters) {
+  InstanceCache& cache = InstanceCache::global();
+  cache.clear();
+  constexpr int kWorkers = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::shared_ptr<const Graph>> got(kWorkers);
+  // Every worker requests the same key with a generator that throws on
+  // the first build. Exactly one requester sees the exception; the rest
+  // either rebuild (their generator succeeds after the failure) or share
+  // the rebuilt value. Nobody deadlocks.
+  std::atomic<bool> failed_once{false};
+  ThreadPool::shared(kWorkers).for_range(
+      0, kWorkers, [&](int w, std::size_t, std::size_t) {
+        try {
+          got[w] = cache.custom_graph("contended-flaky", [&]() -> Graph {
+            if (!failed_once.exchange(true))
+              throw std::runtime_error("first build fails");
+            return Graph(3, {{0, 1}, {1, 2}});
+          });
+        } catch (const std::runtime_error&) {
+          failures.fetch_add(1);
+        }
+      });
+  EXPECT_EQ(failures.load(), 1)
+      << "the exception reaches only the requester that ran the generator";
+  const Graph* value = nullptr;
+  for (int w = 0; w < kWorkers; ++w) {
+    if (got[w] == nullptr) continue;
+    if (value == nullptr) value = got[w].get();
+    EXPECT_EQ(got[w].get(), value) << "survivors share one instance";
+  }
+  ASSERT_NE(value, nullptr) << "at least one requester rebuilt";
+}
+
 TEST(SweepDriver, RowsAreIndexAddressed) {
   SweepOptions opt;
   opt.workers = 1;

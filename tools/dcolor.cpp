@@ -8,7 +8,7 @@
 //
 // Algorithms are resolved from the shared registry (the same catalog the
 // benches use); `dcolor --list` enumerates them. Unknown names exit with
-// status 2 and print the closest registered names.
+// status 4 and print the closest registered names.
 //
 // Global flags (anywhere on the command line):
 //   --list         list registered algorithms and exit
@@ -20,6 +20,19 @@
 //                  algorithm over the shared instance as concurrent sweep
 //                  cells; print per-seed rounds and aggregate wall-clock
 //                  statistics instead of a single ledger
+//   --validate=M   oracle mode, M in {off, end, phase}: end checks the
+//                  final coloring (structured error instead of a hard
+//                  abort); phase additionally checks partial-coloring
+//                  invariants between pipeline phases (det/rand)
+//   --retries=N    color --repeat: attempts per seed before the cell is
+//                  quarantined (retries re-run with a perturbed seed)
+//   --journal=P    color --repeat: JSONL checkpoint journal at path P
+//   --resume       with --journal: skip seeds already completed in P
+//
+// Exit codes: 0 success; 1 runtime failure (invalid result, quarantined
+// cells, engine error); 2 usage error / invalid flag combination;
+// 3 unreadable or malformed input file; 4 unknown algorithm or generator
+// family. Documented here and in `--help`.
 //
 // Graphs are plain edge lists ("n m" header then "u v" per line); colorings
 // are "v color" lines. `color` prints the summary and round ledger, writes
@@ -29,6 +42,8 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -39,6 +54,12 @@
 namespace {
 
 using namespace deltacolor;
+
+// Distinct exit codes (see the header comment; also printed by --help).
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadFile = 3;
+constexpr int kExitUnknownAlgorithm = 4;
 
 int usage() {
   std::cerr
@@ -51,8 +72,16 @@ int usage() {
          "flags: --list (registered algorithms), --threads=N (engine "
          "workers, 0 = auto; env DELTACOLOR_THREADS), --frontier (sparse "
          "activation), --repeat=N (color: N seeds as sweep cells, "
-         "aggregate stats)\n";
-  return 2;
+         "aggregate stats), --validate=off|end|phase (oracle mode: check "
+         "the final coloring / every pipeline phase boundary), --retries=N "
+         "(repeat: attempts per seed before quarantine), --journal=PATH "
+         "(repeat: JSONL checkpoint), --resume (skip seeds completed in "
+         "the journal)\n"
+         "exit codes: 0 success; 1 runtime failure (invalid result, "
+         "quarantined cells); 2 usage error or invalid flag combination; "
+         "3 unreadable or malformed input file; 4 unknown algorithm or "
+         "generator family\n";
+  return kExitUsage;
 }
 
 int list_algorithms() {
@@ -65,6 +94,27 @@ int list_algorithms() {
 
 EngineOptions g_engine;  // from --threads / --frontier
 int g_repeat = 1;        // from --repeat=N
+ValidateMode g_validate = ValidateMode::kOff;  // from --validate=M
+int g_retries = 1;                             // from --retries=N
+std::string g_journal_path;                    // from --journal=P
+bool g_resume = false;                         // from --resume
+
+/// One-line error + kExitBadFile instead of the library's DC_CHECK
+/// (file:line logic_error) for operator-facing input problems.
+std::optional<Graph> try_load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cerr << "dcolor: cannot open graph file '" << path << "'\n";
+    return std::nullopt;
+  }
+  try {
+    return read_edge_list(is);
+  } catch (const std::exception&) {
+    std::cerr << "dcolor: malformed edge list in '" << path
+              << "' (expected \"n m\" header then m \"u v\" lines)\n";
+    return std::nullopt;
+  }
+}
 
 void write_coloring(const std::string& path, const std::vector<Color>& c) {
   std::ofstream os(path);
@@ -72,16 +122,28 @@ void write_coloring(const std::string& path, const std::vector<Color>& c) {
   for (std::size_t v = 0; v < c.size(); ++v) os << v << ' ' << c[v] << '\n';
 }
 
-std::vector<Color> read_coloring(const std::string& path) {
+std::optional<std::vector<Color>> try_read_coloring(
+    const std::string& path) {
   std::ifstream is(path);
-  DC_CHECK_MSG(is.good(), "cannot open " << path);
+  if (!is.good()) {
+    std::cerr << "dcolor: cannot open coloring file '" << path << "'\n";
+    return std::nullopt;
+  }
   std::size_t n = 0;
-  is >> n;
+  if (!(is >> n)) {
+    std::cerr << "dcolor: malformed coloring file '" << path
+              << "' (expected node count header)\n";
+    return std::nullopt;
+  }
   std::vector<Color> c(n, kNoColor);
   std::size_t v = 0;
   Color col = 0;
   while (is >> v >> col) {
-    DC_CHECK(v < n);
+    if (v >= n) {
+      std::cerr << "dcolor: coloring file '" << path << "' names node " << v
+                << " but declares only " << n << " nodes\n";
+      return std::nullopt;
+    }
     c[v] = col;
   }
   return c;
@@ -121,7 +183,47 @@ int cmd_gen(int argc, char** argv) {
     std::cout << "wrote " << argv[6] << ": n=" << g.num_nodes() << "\n";
     return 0;
   }
-  return usage();
+  if (kind == "blowup" || kind == "ring" || kind == "regular")
+    return usage();  // right family, wrong arity
+  std::cerr << "dcolor: unknown generator family '" << kind
+            << "' (families: blowup, ring, regular)\n";
+  return kExitUnknownAlgorithm;
+}
+
+/// Per-seed row of the --repeat sweep table, journal-serializable so a
+/// killed batch resumes from completed seeds.
+struct RepeatRow {
+  bool ok = false;
+  std::int64_t rounds = 0;
+  double wall_ms = 0;
+  std::string summary;
+};
+
+std::string encode_repeat_row(const RepeatRow& row) {
+  std::ostringstream os;
+  os << (row.ok ? 1 : 0) << '\x1f' << row.rounds << '\x1f' << row.wall_ms
+     << '\x1f' << row.summary;
+  return os.str();
+}
+
+bool decode_repeat_row(std::string_view text, RepeatRow* out) {
+  RepeatRow row;
+  std::size_t pos = 0;
+  const auto next = [&](std::string* field) {
+    const std::size_t sep = text.find('\x1f', pos);
+    if (sep == std::string_view::npos) return false;
+    *field = std::string(text.substr(pos, sep - pos));
+    pos = sep + 1;
+    return true;
+  };
+  std::string ok, rounds, wall;
+  if (!next(&ok) || !next(&rounds) || !next(&wall)) return false;
+  row.ok = ok == "1";
+  row.rounds = std::strtoll(rounds.c_str(), nullptr, 10);
+  row.wall_ms = std::strtod(wall.c_str(), nullptr);
+  row.summary = std::string(text.substr(pos));
+  *out = row;
+  return true;
 }
 
 int cmd_color(int argc, char** argv) {
@@ -129,7 +231,7 @@ int cmd_color(int argc, char** argv) {
   const std::string algo = argc > 3 ? argv[3] : "det";
   const AlgorithmEntry* entry = find_algorithm(algo);
   if (entry == nullptr) {
-    std::cerr << "unknown algorithm '" << algo << "'";
+    std::cerr << "dcolor: unknown algorithm '" << algo << "'";
     const auto suggestions = suggest_algorithms(algo);
     if (!suggestions.empty()) {
       std::cerr << " — did you mean";
@@ -138,38 +240,63 @@ int cmd_color(int argc, char** argv) {
       std::cerr << "?";
     }
     std::cerr << " (see dcolor --list)\n";
-    return 2;
+    return kExitUnknownAlgorithm;
   }
 
-  Graph g = load_edge_list(argv[2]);
+  auto loaded = try_load_graph(argv[2]);
+  if (!loaded) return kExitBadFile;
+  Graph g = std::move(*loaded);
   g.set_ids(shuffled_ids(g.num_nodes(), 1));
   AlgorithmRequest req;
   req.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
   req.engine = g_engine;
+  req.validate = g_validate;
   const std::string out = argc > 5 ? argv[5] : "";
 
   if (g_repeat > 1) {
     // Batch mode: seeds seed..seed+N-1 run as sweep cells over the one
     // loaded instance; cells are concurrent when sweep workers are
     // available (each cell's engine is then serialized, see sweep.hpp).
-    struct Row {
-      bool ok = false;
-      std::int64_t rounds = 0;
-      double wall_ms = 0;
-      std::string summary;
-    };
-    bench::SweepOptions sweep_opt;
+    // The retry/journal robustness layer is driven by --retries /
+    // --journal / --resume plus the DELTACOLOR_SWEEP_* env overlay.
+    bench::SweepOptions sweep_opt = bench::sweep_options_from_env();
     sweep_opt.cell_engine = g_engine;
+    if (g_retries > 1) {
+      sweep_opt.retry.max_attempts = g_retries;
+      sweep_opt.retry.quarantine = true;
+    }
+    if (!g_journal_path.empty()) {
+      sweep_opt.journal =
+          std::make_shared<bench::SweepJournal>(g_journal_path, g_resume);
+      // A journaled batch wants partial tables, not an all-or-nothing
+      // rethrow that would discard the checkpoint's value.
+      sweep_opt.retry.quarantine = true;
+    }
     bench::SweepDriver driver(sweep_opt);
-    const auto rows = driver.run<Row>(
+    const bench::CellCodec<RepeatRow> codec{
+        encode_repeat_row,
+        [](std::string_view text, RepeatRow* row) {
+          return decode_repeat_row(text, row);
+        }};
+    // Cell key = instance + algorithm + seed, stable across processes.
+    const std::string graph_path = argv[2];
+    const auto key_fn = [&](std::size_t i) {
+      std::ostringstream key;
+      key << "file/" << graph_path << "/alg=" << algo
+          << "/seed=" << (req.seed + i);
+      return key.str();
+    };
+    const auto result = driver.run_cells<RepeatRow>(
         static_cast<std::size_t>(g_repeat),
         [&](std::size_t i, bench::CellContext& ctx) {
           AlgorithmRequest cell_req;
-          cell_req.seed = req.seed + i;
+          // Retries perturb the seed deterministically (w.h.p. re-run).
+          cell_req.seed = ctx.seed_for(req.seed + i);
           cell_req.engine = ctx.engine();
+          cell_req.validate = g_validate;
           const auto t0 = std::chrono::steady_clock::now();
           const AlgorithmResult res = entry->run(g, cell_req);
-          Row row;
+          RepeatRow row;
           row.wall_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -177,29 +304,43 @@ int cmd_color(int argc, char** argv) {
           row.rounds = res.ledger.total();
           row.summary = res.summary;
           return row;
-        });
+        },
+        key_fn, &codec);
     std::vector<double> rounds, wall;
     bool all_ok = true;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::cout << "seed " << (req.seed + i) << ": rounds="
-                << rows[i].rounds << " wall_ms=" << rows[i].wall_ms << " "
-                << (rows[i].ok ? "ok" : "INVALID") << " — "
-                << rows[i].summary << "\n";
-      rounds.push_back(static_cast<double>(rows[i].rounds));
-      wall.push_back(rows[i].wall_ms);
-      all_ok = all_ok && rows[i].ok;
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      const RepeatRow& row = result.rows[i];
+      const bench::CellOutcome& oc = result.outcomes[i];
+      std::cout << "seed " << (req.seed + i)
+                << ": status=" << to_string(oc.status);
+      if (oc.status == bench::CellStatus::kQuarantined) {
+        std::cout << " [" << to_string(oc.category) << " after "
+                  << oc.attempts << " attempt"
+                  << (oc.attempts == 1 ? "" : "s") << "] " << oc.error
+                  << "\n";
+        all_ok = false;
+        continue;
+      }
+      std::cout << " rounds=" << row.rounds << " wall_ms=" << row.wall_ms
+                << " " << (row.ok ? "ok" : "INVALID")
+                << (oc.resumed ? " (resumed)" : "") << " — " << row.summary
+                << "\n";
+      rounds.push_back(static_cast<double>(row.rounds));
+      wall.push_back(row.wall_ms);
+      all_ok = all_ok && row.ok;
     }
-    std::cout << "rounds:  " << format_summary(summarize(rounds)) << "\n"
-              << "wall_ms: " << format_summary(summarize(wall)) << "\n"
-              << driver.report() << "\n";
-    return all_ok ? 0 : 1;
+    if (!rounds.empty())
+      std::cout << "rounds:  " << format_summary(summarize(rounds)) << "\n"
+                << "wall_ms: " << format_summary(summarize(wall)) << "\n";
+    std::cout << driver.report() << "\n";
+    return all_ok ? 0 : kExitFailure;
   }
 
   const AlgorithmResult res = entry->run(g, req);
   std::cout << res.summary << "\n" << res.ledger.report();
   if (!res.ok) {
     std::cerr << "RESULT INVALID\n";
-    return 1;
+    return kExitFailure;
   }
   if (!out.empty()) {
     if (!res.color.empty()) {
@@ -218,15 +359,21 @@ int cmd_color(int argc, char** argv) {
 
 int cmd_check(int argc, char** argv) {
   if (argc != 4) return usage();
-  const Graph g = load_edge_list(argv[2]);
-  const auto color = read_coloring(argv[3]);
-  DC_CHECK_MSG(color.size() == g.num_nodes(), "size mismatch");
-  const auto report = check_coloring(g, color);
+  const auto g = try_load_graph(argv[2]);
+  if (!g) return kExitBadFile;
+  const auto color = try_read_coloring(argv[3]);
+  if (!color) return kExitBadFile;
+  if (color->size() != g->num_nodes()) {
+    std::cerr << "dcolor: coloring has " << color->size()
+              << " nodes but the graph has " << g->num_nodes() << "\n";
+    return kExitBadFile;
+  }
+  const auto report = check_coloring(*g, *color);
   std::cout << report.describe() << "\n";
   return report.proper && report.complete &&
-                 report.max_color < g.max_degree()
+                 report.max_color < g->max_degree()
              ? 0
-             : 1;
+             : kExitFailure;
 }
 
 }  // namespace
@@ -248,14 +395,50 @@ int main(int argc, char** argv) {
       g_engine.frontier = true;
     } else if (arg.rfind("--repeat=", 0) == 0) {
       g_repeat = std::atoi(arg.c_str() + 9);
-      if (g_repeat < 1) return usage();
+      if (g_repeat < 1) {
+        std::cerr << "dcolor: invalid " << arg << " (need at least 1)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--validate=", 0) == 0) {
+      if (!parse_validate_mode(arg.c_str() + 11, &g_validate)) {
+        std::cerr << "dcolor: invalid " << arg
+                  << " (modes: off, end, phase)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      g_retries = std::atoi(arg.c_str() + 10);
+      if (g_retries < 1) {
+        std::cerr << "dcolor: invalid " << arg << " (need at least 1)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      g_journal_path = arg.substr(10);
+      if (g_journal_path.empty()) {
+        std::cerr << "dcolor: invalid --journal= (need a path)\n";
+        return kExitUsage;
+      }
+    } else if (arg == "--resume") {
+      g_resume = true;
     } else if (arg == "--list") {
       return list_algorithms();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (g_resume && g_journal_path.empty()) {
+    std::cerr << "dcolor: --resume requires --journal=PATH\n";
+    return kExitUsage;
+  }
+  if ((g_resume || !g_journal_path.empty() || g_retries > 1) &&
+      g_repeat <= 1) {
+    std::cerr << "dcolor: --journal/--resume/--retries apply to "
+                 "`color --repeat=N` batches only\n";
+    return kExitUsage;
+  }
   if (argc < 2) return usage();
   // Resolved engine configuration, printed once so "--threads=0" (auto)
   // never silently runs with an unexpected worker count.
@@ -273,7 +456,7 @@ int main(int argc, char** argv) {
     if (cmd == "check") return cmd_check(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitFailure;
   }
   return usage();
 }
