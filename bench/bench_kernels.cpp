@@ -6,11 +6,20 @@
 // against the oracle before timing, so a speedup reported here is a
 // speedup on provably identical results.
 //
+// A second section (KERNELS_SIMD) times the dispatched PaletteSet word
+// kernels at the scalar level vs the best level this host supports, per
+// width. Before timing, both levels run a deterministic checksum pass over
+// identical workloads; any divergence aborts the process — a speedup row
+// only ever describes bit-identical results. Note widths below 512 colors
+// sit under simd::kMinWords, where PaletteSet keeps its inlined scalar
+// loops at every level, so those rows legitimately hover at 1.0x.
+//
 // Usage: bench_kernels [--quick]   (--quick cuts iteration counts ~20x for
 // the CI perf-smoke job; the emitted BENCH_JSON schema is unchanged).
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <set>
@@ -20,6 +29,7 @@
 #include "bench_support/table.hpp"
 #include "common/palette.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace deltacolor::bench {
 namespace {
@@ -143,6 +153,146 @@ double time_ns_per_op(int iters, Fn&& fn) {
          iters;
 }
 
+// --- KERNELS_SIMD: scalar vs best dispatch level on the palette word ops ---
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2))) *
+         0x100000001b3ull;
+}
+
+struct SimdWorkload {
+  PaletteSet free_set;   // every color in [0, width)
+  PaletteSet taken_set;  // the neighborhood's colors
+  PaletteSet reduced;    // free_set \ taken_set (remove_all is idempotent,
+                         // so timing loops re-apply it in place)
+  int nth_k = 0;
+};
+
+std::vector<SimdWorkload> make_simd_workloads(int width) {
+  std::vector<SimdWorkload> out;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    const Workload w = make_workload(width, 101 + s);
+    SimdWorkload sw;
+    sw.free_set.reset(width);
+    for (Color c = 0; c < width; ++c) sw.free_set.insert(c);
+    sw.taken_set.reset(width);
+    for (const Color c : w.nbr_colors) sw.taken_set.insert(c);
+    sw.reduced = sw.free_set;
+    sw.reduced.remove_all(sw.taken_set);
+    const int cnt = sw.reduced.count();
+    sw.nth_k = cnt > 0 ? static_cast<int>(w.draw %
+                                          static_cast<std::size_t>(cnt))
+                       : 0;
+    out.push_back(std::move(sw));
+  }
+  return out;
+}
+
+/// Deterministic digest of every kernel's output over the workloads; must
+/// be identical at every dispatch level or the bench aborts.
+std::uint64_t simd_checksum(const std::vector<SimdWorkload>& wl) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const SimdWorkload& sw : wl) {
+    PaletteSet tmp = sw.free_set;
+    tmp.remove_all(sw.taken_set);
+    h = mix64(h, static_cast<std::uint64_t>(tmp.count()));
+    h = mix64(h, static_cast<std::uint64_t>(
+                     sw.free_set.intersect_count(sw.taken_set)));
+    h = mix64(h, static_cast<std::uint64_t>(tmp.first_free()));
+    h = mix64(h, static_cast<std::uint64_t>(tmp.nth_free(sw.nth_k)));
+    h = mix64(h, static_cast<std::uint64_t>(
+                     tmp.sample_free(0x9e3779b97f4a7c15ull)));
+  }
+  return h;
+}
+
+struct SimdTimes {
+  double remove_ns = 0;
+  double count_ns = 0;
+  double inter_ns = 0;
+  double first_ns = 0;
+  double nth_ns = 0;
+};
+
+SimdTimes time_simd_level(std::vector<SimdWorkload>& wl, int iters) {
+  SimdTimes t;
+  volatile int sink = 0;
+  t.remove_ns = time_ns_per_op(iters, [&]() {
+    for (SimdWorkload& sw : wl) sw.reduced.remove_all(sw.taken_set);
+  });
+  t.count_ns = time_ns_per_op(iters, [&]() {
+    for (const SimdWorkload& sw : wl) sink = sw.reduced.count();
+  });
+  t.inter_ns = time_ns_per_op(iters, [&]() {
+    for (const SimdWorkload& sw : wl)
+      sink = sw.free_set.intersect_count(sw.taken_set);
+  });
+  t.first_ns = time_ns_per_op(iters, [&]() {
+    for (const SimdWorkload& sw : wl) sink = sw.reduced.first_free();
+  });
+  t.nth_ns = time_ns_per_op(iters, [&]() {
+    for (const SimdWorkload& sw : wl) sink = sw.reduced.nth_free(sw.nth_k);
+  });
+  (void)sink;
+  return t;
+}
+
+int run_simd_section(bool quick) {
+  const simd::Level best = simd::best_level();
+  banner("KERNELS_SIMD",
+         std::string("PaletteSet word kernels: scalar vs ") +
+             simd::to_string(best) + " dispatch (bit-identical, enforced)");
+  Table table({"width", "op", "scalar ns", "simd ns", "speedup"});
+  const int base_iters = quick ? 500 : 20000;
+  for (const int width : {64, 256, 512, 1024, 4096}) {
+    const int iters = std::max(base_iters * 64 / width, quick ? 25 : 500);
+    std::vector<SimdWorkload> wl = make_simd_workloads(width);
+
+    simd::force_level(simd::Level::kScalar);
+    const std::uint64_t sum_scalar = simd_checksum(wl);
+    const SimdTimes scalar = time_simd_level(wl, iters);
+
+    simd::force_level(best);
+    const std::uint64_t sum_simd = simd_checksum(wl);
+    const SimdTimes vec = time_simd_level(wl, iters);
+    simd::reset_level();
+
+    if (sum_scalar != sum_simd) {
+      std::cerr << "KERNELS_SIMD MISMATCH width=" << width << " scalar=0x"
+                << std::hex << sum_scalar << " " << simd::to_string(best)
+                << "=0x" << sum_simd << std::dec
+                << " — SIMD diverges from the scalar reference, aborting\n";
+      std::abort();
+    }
+    std::cout << "KERNELS_STATE width=" << width << " checksum=0x"
+              << std::hex << sum_scalar << std::dec << "\n";
+
+    const struct {
+      const char* name;
+      double SimdTimes::*field;
+    } ops[] = {{"remove_all", &SimdTimes::remove_ns},
+               {"count", &SimdTimes::count_ns},
+               {"intersect_count", &SimdTimes::inter_ns},
+               {"first_free", &SimdTimes::first_ns},
+               {"nth_free", &SimdTimes::nth_ns}};
+    BenchJson json("KERNELS_SIMD");
+    json.field("width", width)
+        .field("level", simd::to_string(best))
+        .field("checksum_match", true);
+    for (const auto& op : ops) {
+      const double s = scalar.*(op.field) / 8;
+      const double v = vec.*(op.field) / 8;
+      table.row(width, op.name, s, v, s / v);
+      json.field(std::string(op.name) + "_scalar_ns", s)
+          .field(std::string(op.name) + "_simd_ns", v)
+          .field(std::string(op.name) + "_speedup", s / v);
+    }
+    json.print();
+  }
+  table.print();
+  return 0;
+}
+
 int run(bool quick) {
   banner("KERNELS",
          "word-parallel PaletteSet vs sorted-vector scan vs std::set");
@@ -150,7 +300,7 @@ int run(bool quick) {
                "speedup vs sorted", "speedup vs set"});
   const int base_iters = quick ? 500 : 10000;
   bool all_match = true;
-  for (const int width : {64, 256, 1024, 4096}) {
+  for (const int width : {64, 256, 512, 1024, 4096}) {
     // Iterations scale down with width so total work stays bounded.
     const int iters = std::max(base_iters * 64 / width, quick ? 25 : 500);
     PaletteSet palette;
@@ -200,7 +350,7 @@ int run(bool quick) {
     std::cerr << "kernel implementations disagree — failing\n";
     return 1;
   }
-  return 0;
+  return run_simd_section(quick);
 }
 
 }  // namespace

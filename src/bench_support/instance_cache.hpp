@@ -76,6 +76,16 @@ class InstanceCache {
       const std::string& key, const std::function<Graph()>& build,
       RoundLedger* ledger = nullptr);
 
+  /// File-backed graph keyed by file *identity* — path plus size and mtime
+  /// from stat(2), so sweeps over the same on-disk instance share one load
+  /// (for a .dcsr file: one mmap), while overwriting the file invalidates
+  /// the cached entry naturally. `load` performs the actual read (mmap or
+  /// text parse); it runs single-flight like every other family. Throws
+  /// std::runtime_error when `path` cannot be stat'ed.
+  std::shared_ptr<const Graph> file_graph(
+      const std::string& path, const std::function<Graph()>& load,
+      RoundLedger* ledger = nullptr);
+
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;

@@ -57,20 +57,34 @@ class ScratchArena {
     used_ = 0;
   }
 
-  /// `count` default-initialized T's, aligned for T. Pointers remain valid
-  /// until reset() (frames rewind the offset but never reclaim storage).
+  /// Minimum absolute-address alignment of every allocation: one AVX2
+  /// vector, so SIMD palette kernels may use aligned loads on arena-carved
+  /// word arrays. Must be computed against the buffer's address, not the
+  /// bump offset — operator new only guarantees ~16 bytes for the buffer
+  /// itself.
+  static constexpr std::size_t kMinAlign = 32;
+
+  /// `count` default-initialized T's, aligned to max(alignof(T), 32)
+  /// bytes. Pointers remain valid until reset() (frames rewind the offset
+  /// but never reclaim storage).
   template <typename T>
   T* alloc(std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "arena scratch must be trivially copyable");
+    const std::size_t align =
+        alignof(T) > kMinAlign ? alignof(T) : kMinAlign;
     const std::size_t bytes = count * sizeof(T);
-    const std::size_t aligned = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(buf_.data());
+    const std::size_t aligned =
+        static_cast<std::size_t>(((base + used_ + align - 1) & ~(align - 1)) -
+                                 base);
     if (aligned + bytes <= buf_.size()) {
       used_ = aligned + bytes;
       high_water_ = used_ > high_water_ ? used_ : high_water_;
       return reinterpret_cast<T*>(buf_.data() + aligned);
     }
-    return static_cast<T*>(alloc_overflow(bytes, alignof(T)));
+    return static_cast<T*>(alloc_overflow(bytes, align));
   }
 
   std::size_t used() const { return used_; }

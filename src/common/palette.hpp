@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace deltacolor {
@@ -73,9 +74,15 @@ class PaletteSet {
   }
 
   /// Word-parallel set difference: drops every color present in `other`.
+  /// Wide palettes route through the runtime-dispatched SIMD kernels
+  /// (common/simd.hpp) — bit-identical to the scalar loop at every level.
   void remove_all(const PaletteSet& other) {
     const std::size_t n =
         std::min(words_needed(width_), words_needed(other.width_));
+    if (n >= simd::kMinWords) {
+      simd::andnot_words(words_.data(), other.words_.data(), n);
+      return;
+    }
     for (std::size_t w = 0; w < n; ++w) words_[w] &= ~other.words_[w];
   }
 
@@ -87,8 +94,10 @@ class PaletteSet {
 
   /// Popcount over all words.
   int count() const {
+    const std::size_t n = words_needed(width_);
+    if (n >= simd::kMinWords) return simd::popcount_words(words_.data(), n);
     int total = 0;
-    for (std::size_t w = 0; w < words_needed(width_); ++w)
+    for (std::size_t w = 0; w < n; ++w)
       total += __builtin_popcountll(words_[w]);
     return total;
   }
@@ -97,21 +106,32 @@ class PaletteSet {
   int intersect_count(const PaletteSet& other) const {
     const std::size_t n =
         std::min(words_needed(width_), words_needed(other.width_));
+    if (n >= simd::kMinWords)
+      return simd::popcount_and_words(words_.data(), other.words_.data(), n);
     int total = 0;
     for (std::size_t w = 0; w < n; ++w)
       total += __builtin_popcountll(words_[w] & other.words_[w]);
     return total;
   }
 
-  /// Smallest member, or kNoColor when empty (ctz on the first non-zero
-  /// word).
+  /// Smallest member, or kNoColor when empty (word-skip scan to the first
+  /// non-zero word, then ctz).
   Color first_free() const {
-    for (std::size_t w = 0; w < words_needed(width_); ++w)
-      if (words_[w] != 0)
-        return static_cast<Color>(w * 64 +
-                                  static_cast<std::size_t>(
-                                      __builtin_ctzll(words_[w])));
-    return kNoColor;
+    const std::size_t n = words_needed(width_);
+    std::size_t w;
+    // The dispatch guard peeks at word 0: a set with any low color free
+    // (the overwhelmingly common case after remove_all) resolves in the
+    // scalar loop's first iteration, cheaper than any vector setup. The
+    // kernel only earns its call when a zero prefix must be skipped.
+    if (n >= simd::kMinWords && words_[0] == 0) {
+      w = simd::first_nonzero_word(words_.data(), n);
+    } else {
+      w = 0;
+      while (w < n && words_[w] == 0) ++w;
+    }
+    if (w == n) return kNoColor;
+    return static_cast<Color>(
+        w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w])));
   }
 
   /// k-th member (0-based) in ascending color order, or kNoColor when the
@@ -119,18 +139,22 @@ class PaletteSet {
   /// within the final word by clearing low bits.
   Color nth_free(int k) const {
     DC_DCHECK(k >= 0);
-    for (std::size_t w = 0; w < words_needed(width_); ++w) {
-      std::uint64_t word = words_[w];
-      const int pop = __builtin_popcountll(word);
-      if (k >= pop) {
+    const std::size_t n = words_needed(width_);
+    std::size_t w;
+    if (n >= simd::kMinWords) {
+      w = simd::select_word(words_.data(), n, &k);
+    } else {
+      for (w = 0; w < n; ++w) {
+        const int pop = __builtin_popcountll(words_[w]);
+        if (k < pop) break;
         k -= pop;
-        continue;
       }
-      while (k-- > 0) word &= word - 1;  // drop the k lowest set bits
-      return static_cast<Color>(
-          w * 64 + static_cast<std::size_t>(__builtin_ctzll(word)));
     }
-    return kNoColor;
+    if (w == n) return kNoColor;
+    std::uint64_t word = words_[w];
+    while (k-- > 0) word &= word - 1;  // drop the k lowest set bits
+    return static_cast<Color>(
+        w * 64 + static_cast<std::size_t>(__builtin_ctzll(word)));
   }
 
   /// Uniform member pick from a raw 64-bit draw: nth_free(draw % count).

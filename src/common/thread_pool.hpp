@@ -48,6 +48,16 @@ class ThreadPool {
   /// sweep driver's retry/quarantine policy.
   void for_range(std::size_t begin, std::size_t end, const RangeFn& fn);
 
+  /// Like for_range, but the caller fixes the chunk boundaries: worker w
+  /// runs [bounds[w], bounds[w+1]). `bounds` must have num_workers() + 1
+  /// ascending entries. This pins a *stable* worker -> index-range
+  /// affinity across rounds (the round engine passes the same bounds
+  /// every round, so each worker re-touches the same graph/state pages —
+  /// cache- and NUMA-first-touch-friendly), and lets the caller balance
+  /// by per-index weight (degrees) instead of index count. Same exception
+  /// contract as for_range.
+  void for_chunks(const std::vector<std::size_t>& bounds, const RangeFn& fn);
+
   /// Library-wide default worker count (see resolution order above).
   static int default_workers();
 
@@ -67,6 +77,8 @@ class ThreadPool {
 
  private:
   void worker_loop(int worker);
+  void run_job(const RangeFn& fn, std::size_t begin, std::size_t end,
+               const std::size_t* bounds);
 
   int num_workers_;
   std::vector<std::thread> threads_;
@@ -80,6 +92,9 @@ class ThreadPool {
   const RangeFn* job_ = nullptr;
   std::size_t job_begin_ = 0;
   std::size_t job_end_ = 0;
+  // Non-null while a for_chunks job runs: worker w's slice is
+  // [job_bounds_[w], job_bounds_[w+1]) instead of the uniform stripe.
+  const std::size_t* job_bounds_ = nullptr;
   std::uint64_t epoch_ = 0;
   int pending_ = 0;
   bool stop_ = false;

@@ -28,6 +28,7 @@
 #include "core/hardness.hpp"
 #include "core/loopholes.hpp"
 #include "graph/checker.hpp"
+#include "graph/csr_file.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/graph_view.hpp"

@@ -32,10 +32,16 @@ ColoringReport check_coloring(const Graph& g,
       r.max_color = std::max(r.max_color, color[v]);
     }
   }
-  for (const auto& [u, v] : g.edges()) {
-    if (color[u] != kNoColor && color[u] == color[v]) {
-      r.proper = false;
-      ++r.conflicts;
+  // Adjacency iteration (each edge once, via its lower endpoint) instead of
+  // the edge list: on a mapped graph this keeps the file's edges section
+  // untouched, so verification stays within the offsets+adjacency pages.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (color[u] == kNoColor) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (v > u && color[u] == color[v]) {
+        r.proper = false;
+        ++r.conflicts;
+      }
     }
   }
   r.colors_used = static_cast<int>(used.size());
@@ -45,8 +51,11 @@ ColoringReport check_coloring(const Graph& g,
 std::optional<std::pair<NodeId, NodeId>> find_partial_conflict(
     const Graph& g, const std::vector<Color>& color) {
   DC_CHECK(color.size() == g.num_nodes());
-  for (const auto& [u, v] : g.edges())
-    if (color[u] != kNoColor && color[u] == color[v]) return {{u, v}};
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (color[u] == kNoColor) continue;
+    for (const NodeId v : g.neighbors(u))
+      if (v > u && color[u] == color[v]) return {{u, v}};
+  }
   return std::nullopt;
 }
 

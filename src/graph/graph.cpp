@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <queue>
+#include <type_traits>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -44,6 +45,10 @@ Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges,
     }
   }
   const std::size_t n = num_nodes;
+
+  static_assert(sizeof(std::pair<NodeId, NodeId>) == 2 * sizeof(NodeId) &&
+                    std::is_standard_layout_v<std::pair<NodeId, NodeId>>,
+                "edge pairs must be two packed u32s (on-disk CSR layout)");
 
   if (hints.sorted) {
     DC_DCHECK(std::is_sorted(edges.begin(), edges.end()));
@@ -144,6 +149,85 @@ Graph::Graph(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> edges,
     max_degree_ = std::max(max_degree_,
                            static_cast<int>(offsets_[v + 1] - offsets_[v]));
   ids_ = identity_ids(num_nodes);
+  rebind_owned();
+}
+
+void Graph::rebind_owned() {
+  off_ = offsets_.data();
+  adj_ = adjacency_.data();
+  arc_ = arc_edge_.data();
+  edge_ = edges_.data();
+  id_ = ids_.data();
+  num_nodes_ =
+      static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  num_edges_ = static_cast<EdgeId>(edges_.size());
+  storage_.reset();
+}
+
+void Graph::rebind_after_copy(const Graph& other) {
+  off_ = other.off_ == other.offsets_.data() ? offsets_.data() : other.off_;
+  adj_ =
+      other.adj_ == other.adjacency_.data() ? adjacency_.data() : other.adj_;
+  arc_ =
+      other.arc_ == other.arc_edge_.data() ? arc_edge_.data() : other.arc_;
+  edge_ = other.edge_ == other.edges_.data() ? edges_.data() : other.edge_;
+  id_ = other.id_ == other.ids_.data() ? ids_.data() : other.id_;
+}
+
+Graph::Graph(const Graph& other)
+    : offsets_(other.offsets_),
+      adjacency_(other.adjacency_),
+      arc_edge_(other.arc_edge_),
+      edges_(other.edges_),
+      ids_(other.ids_),
+      num_nodes_(other.num_nodes_),
+      num_edges_(other.num_edges_),
+      max_degree_(other.max_degree_),
+      storage_(other.storage_) {
+  rebind_after_copy(other);
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  offsets_ = other.offsets_;
+  adjacency_ = other.adjacency_;
+  arc_edge_ = other.arc_edge_;
+  edges_ = other.edges_;
+  ids_ = other.ids_;
+  num_nodes_ = other.num_nodes_;
+  num_edges_ = other.num_edges_;
+  max_degree_ = other.max_degree_;
+  storage_ = other.storage_;
+  rebind_after_copy(other);
+  return *this;
+}
+
+Graph Graph::from_external(const ExternalCsr& csr,
+                           std::shared_ptr<const void> storage) {
+  Graph g;
+  g.off_ = csr.offsets;
+  g.adj_ = csr.adjacency;
+  g.arc_ = csr.arc_edge;
+  g.edge_ = csr.edges;
+  g.id_ = csr.ids;
+  g.num_nodes_ = csr.num_nodes;
+  g.num_edges_ = csr.num_edges;
+  g.max_degree_ = csr.max_degree;
+  g.storage_ = std::move(storage);
+  return g;
+}
+
+Graph::ExternalCsr Graph::external_view() const {
+  ExternalCsr csr;
+  csr.offsets = off_;
+  csr.adjacency = adj_;
+  csr.arc_edge = arc_;
+  csr.edges = edge_;
+  csr.ids = id_;
+  csr.num_nodes = num_nodes_;
+  csr.num_edges = num_edges_;
+  csr.max_degree = max_degree_;
+  return csr;
 }
 
 Graph Graph::legacy_build(NodeId num_nodes,
@@ -191,6 +275,7 @@ Graph Graph::legacy_build(NodeId num_nodes,
     g.max_degree_ = std::max(g.max_degree_, static_cast<int>(hi - lo));
   }
   g.ids_ = identity_ids(num_nodes);
+  g.rebind_owned();
   return g;
 }
 
@@ -209,6 +294,7 @@ void Graph::set_ids(std::vector<std::uint64_t> ids) {
                    sorted.end(),
                "node identifiers must be unique");
   ids_ = std::move(ids);
+  id_ = ids_.data();  // the new ids are owned even on a mapped graph
 }
 
 bool Graph::within_distance(NodeId u, NodeId v, int radius) const {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -39,6 +41,21 @@ inline constexpr EdgeListHints kSortedUniqueEdges{true, true, true};
 
 class Graph {
  public:
+  /// Borrowed CSR arrays — the zero-copy exchange shape between Graph and
+  /// external storage (an mmap'd .dcsr file, a serializer). All pointers
+  /// reference memory owned elsewhere; `edges` uses the in-memory pair
+  /// layout, which csr_file static-asserts is exactly two packed u32s.
+  struct ExternalCsr {
+    const std::uint64_t* offsets = nullptr;            // size num_nodes + 1
+    const NodeId* adjacency = nullptr;                 // size 2 * num_edges
+    const EdgeId* arc_edge = nullptr;                  // size 2 * num_edges
+    const std::pair<NodeId, NodeId>* edges = nullptr;  // size num_edges
+    const std::uint64_t* ids = nullptr;                // size num_nodes
+    NodeId num_nodes = 0;
+    EdgeId num_edges = 0;
+    int max_degree = 0;
+  };
+
   Graph() = default;
 
   /// Builds from an edge list. Edges must be simple (no self loops); pairs
@@ -67,19 +84,38 @@ class Graph {
   static Graph legacy_build(NodeId num_nodes,
                             std::vector<std::pair<NodeId, NodeId>> edges);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
-  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  /// Zero-copy adoption of externally owned CSR arrays (the mmap load
+  /// path). `storage` is an opaque keep-alive: the Graph holds it for its
+  /// lifetime so the mapping outlives every view handed out. The arrays
+  /// are trusted — csr_file validates magic/version/checksums before
+  /// calling this.
+  static Graph from_external(const ExternalCsr& csr,
+                             std::shared_ptr<const void> storage);
+
+  /// This graph's arrays as borrowed views (the serialization path).
+  ExternalCsr external_view() const;
+
+  /// Copies rebind the hot-path views onto the copied buffers (or share the
+  /// external mapping); moves are cheap — vector buffers are stable under
+  /// move, so the views transfer as-is.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+  ~Graph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return num_edges_; }
 
   int degree(NodeId v) const {
-    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+    return static_cast<int>(off_[v + 1] - off_[v]);
   }
 
   int max_degree() const { return max_degree_; }
 
   /// Neighbors of v, sorted ascending by node index.
   std::span<const NodeId> neighbors(NodeId v) const {
-    return {adjacency_.data() + offsets_[v],
-            adjacency_.data() + offsets_[v + 1]};
+    return {adj_ + off_[v], adj_ + off_[v + 1]};
   }
 
   /// Calls fn(u) for every neighbor u of v (ascending). Part of the
@@ -96,7 +132,7 @@ class Graph {
 
   /// Edge index of each arc out of v, aligned with neighbors(v).
   std::span<const EdgeId> incident_edges(NodeId v) const {
-    return {arc_edge_.data() + offsets_[v], arc_edge_.data() + offsets_[v + 1]};
+    return {arc_ + off_[v], arc_ + off_[v + 1]};
   }
 
   bool has_edge(NodeId u, NodeId v) const {
@@ -107,24 +143,28 @@ class Graph {
   EdgeId edge_between(NodeId u, NodeId v) const;
 
   /// Endpoints of edge e with endpoints().first < endpoints().second.
-  std::pair<NodeId, NodeId> endpoints(EdgeId e) const { return edges_[e]; }
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const { return edge_[e]; }
 
   /// Given edge e incident to v, the other endpoint.
   NodeId other_endpoint(EdgeId e, NodeId v) const {
-    const auto [a, b] = edges_[e];
+    const auto [a, b] = edge_[e];
     DC_DCHECK(v == a || v == b);
     return v == a ? b : a;
   }
 
   /// LOCAL-model identifier of node v (unique, not necessarily 0..n-1).
-  std::uint64_t id(NodeId v) const { return ids_[v]; }
+  std::uint64_t id(NodeId v) const { return id_[v]; }
 
   /// Installs a fresh identifier assignment (must be unique, size n).
+  /// Works on mapped graphs too: the new ids become owned storage while
+  /// every other section stays zero-copy.
   void set_ids(std::vector<std::uint64_t> ids);
 
-  /// All edges as (u, v) pairs with u < v.
-  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
-    return edges_;
+  /// All edges as (u, v) pairs with u < v. On a mapped graph this view
+  /// touches the file's edges section — hot paths should prefer adjacency
+  /// iteration so those pages stay cold.
+  std::span<const std::pair<NodeId, NodeId>> edges() const {
+    return {edge_, static_cast<std::size_t>(num_edges_)};
   }
 
   /// True if u and v are within distance `radius` (BFS; intended for tests
@@ -135,12 +175,36 @@ class Graph {
   std::size_t num_components() const;
 
  private:
-  std::vector<std::size_t> offsets_;  // size n+1
-  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
-  std::vector<EdgeId> arc_edge_;      // size 2m, aligned with adjacency_
+  /// Points the hot-path views at this graph's own vectors and refreshes
+  /// the cached counts (the tail step of every in-memory build).
+  void rebind_owned();
+  /// Copy-construction helper: for each section, rebind to this graph's
+  /// freshly copied vector when `other` viewed its own buffer, else keep
+  /// the external pointer (the shared mapping was copied via storage_).
+  void rebind_after_copy(const Graph& other);
+
+  // Owned storage. Empty for sections that live in an external mapping.
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;       // size 2m, sorted per node
+  std::vector<EdgeId> arc_edge_;        // size 2m, aligned with adjacency_
   std::vector<std::pair<NodeId, NodeId>> edges_;  // size m, u < v
-  std::vector<std::uint64_t> ids_;    // size n
+  std::vector<std::uint64_t> ids_;      // size n
+
+  // Hot-path views: every accessor reads through these. Each points into
+  // the owned vector above or into storage_-backed external memory.
+  const std::uint64_t* off_ = nullptr;
+  const NodeId* adj_ = nullptr;
+  const EdgeId* arc_ = nullptr;
+  const std::pair<NodeId, NodeId>* edge_ = nullptr;
+  const std::uint64_t* id_ = nullptr;
+
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
   int max_degree_ = 0;
+
+  /// Opaque keep-alive for external storage (e.g. the mmap'd file). Shared
+  /// across copies so the mapping drops only when the last view dies.
+  std::shared_ptr<const void> storage_;
 };
 
 /// Convenience: identity identifiers 0..n-1.

@@ -327,11 +327,68 @@ class SyncRunner {
       fn(0, std::size_t{0}, size);
       return;
     }
+    // Full sweeps over the host graph run on *stable* degree-balanced
+    // chunk bounds: every round hands worker w the same node range, so the
+    // CSR/state pages a worker faulted in (first touch) stay its own, and
+    // skewed-degree graphs don't leave the high-degree stripe's worker as
+    // the round's straggler. Bounds depend only on the degree sequence and
+    // worker count — chunks stay contiguous ascending ranges, so results
+    // (and the dense-round changed-list concatenation order) are
+    // bit-identical to uniform striping.
+    if (size == g_.num_nodes() && size > 0) {
+      if constexpr (requires(const GraphT& g, NodeId v) {
+                      g.neighbors(v);
+                      g.num_edges();
+                    }) {
+        if (chunk_bounds_.empty()) compute_chunk_bounds();
+        pool_->for_chunks(
+            chunk_bounds_,
+            [&](int worker, std::size_t begin, std::size_t end) {
+              ScratchArena::local().reset();
+              fn(worker, begin, end);
+            });
+        return;
+      }
+    }
     pool_->for_range(0, size,
                      [&](int worker, std::size_t begin, std::size_t end) {
                        ScratchArena::local().reset();
                        fn(worker, begin, end);
                      });
+  }
+
+  /// Degree-balanced 64-node-aligned chunk bounds over [0, n): worker w
+  /// gets nodes [bounds[w], bounds[w+1]) whose (deg+1)-weight sums to
+  /// ~1/workers of the total. Boundaries round up to 64-node groups so a
+  /// cache line of the (typically word-sized) state arrays never straddles
+  /// two workers. Host graphs only (lazy views may have expensive
+  /// degree()); computed once per runner, O(n).
+  void compute_chunk_bounds() {
+    const std::size_t n = g_.num_nodes();
+    const int workers = pool_->num_workers();
+    chunk_bounds_.assign(static_cast<std::size_t>(workers) + 1, n);
+    chunk_bounds_[0] = 0;
+    const std::uint64_t total =
+        2ull * g_.num_edges() + n;  // sum of deg(v) + 1
+    std::uint64_t seen = 0;
+    std::size_t v = 0;
+    for (int w = 1; w < workers; ++w) {
+      const std::uint64_t target =
+          total * static_cast<std::uint64_t>(w) /
+          static_cast<std::uint64_t>(workers);
+      while (v < n && seen < target) {
+        seen += static_cast<std::uint64_t>(g_.degree(
+                    static_cast<NodeId>(v))) + 1;
+        ++v;
+      }
+      const std::size_t aligned = std::min(n, (v + 63) & ~std::size_t{63});
+      while (v < aligned) {
+        seen += static_cast<std::uint64_t>(g_.degree(
+                    static_cast<NodeId>(v))) + 1;
+        ++v;
+      }
+      chunk_bounds_[static_cast<std::size_t>(w)] = v;
+    }
   }
 
   const GraphT& g_;
@@ -345,6 +402,9 @@ class SyncRunner {
   // worker's contiguous chunk), concatenated in chunk order on a
   // dense -> sparse transition.
   std::vector<std::vector<NodeId>> chunk_changed_;
+  // Full sweeps: stable degree-balanced worker chunk bounds (see
+  // compute_chunk_bounds); empty until the first full sweep needs them.
+  std::vector<std::size_t> chunk_bounds_;
 };
 
 /// One round of "everyone publishes, everyone reads neighbors" implemented

@@ -16,6 +16,7 @@
 #include "common/arena.hpp"
 #include "common/palette.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "graph/generators.hpp"
 #include "local/context.hpp"
 #include "local/sync_runner.hpp"
@@ -241,6 +242,129 @@ TEST(ColorLists, EmptyStates) {
 // ---------------------------------------------------------------------------
 // ScratchArena
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch parity: every supported level computes bit-identically to
+// the forced-scalar table on the same palettes, across widths straddling
+// the kMinWords dispatch cutoff (8 words = 512 colors).
+// ---------------------------------------------------------------------------
+
+struct LevelGuard {
+  ~LevelGuard() { simd::reset_level(); }
+};
+
+TEST(SimdDispatch, AllLevelsMatchScalarReference) {
+  LevelGuard guard;
+  const simd::Level levels[] = {simd::Level::kScalar, simd::Level::kAvx2,
+                                simd::Level::kNeon};
+  const int widths[] = {64, 511, 512, 513, 640, 1000, 4096};
+  for (const int width : widths) {
+    // Deterministic pseudo-random palettes, plus all-zero / all-one /
+    // single-bit-at-the-end edge cases.
+    std::vector<std::pair<PaletteSet, PaletteSet>> cases;
+    std::uint64_t state = static_cast<std::uint64_t>(width) * 2654435761u;
+    auto next = [&]() { return state = hash_mix(state, 5, 7); };
+    for (int rep = 0; rep < 4; ++rep) {
+      PaletteSet a(width), b(width);
+      for (Color c = 0; c < width; ++c) {
+        if (next() & 1) a.insert(c);
+        if (next() & 2) b.insert(c);
+      }
+      cases.emplace_back(std::move(a), std::move(b));
+    }
+    {
+      PaletteSet empty(width), full(width), last(width);
+      for (Color c = 0; c < width; ++c) full.insert(c);
+      last.insert(width - 1);
+      cases.emplace_back(empty, full);
+      cases.emplace_back(full, empty);
+      cases.emplace_back(last, full);
+    }
+
+    // Scalar reference pass.
+    ASSERT_TRUE(simd::force_level(simd::Level::kScalar));
+    struct Ref {
+      int count, inter;
+      Color first, nth, removed_first;
+    };
+    std::vector<Ref> ref;
+    for (const auto& [a, b] : cases) {
+      PaletteSet t = a;
+      t.remove_all(b);
+      const int cnt = a.count();
+      ref.push_back({cnt, a.intersect_count(b), a.first_free(),
+                     a.nth_free(cnt > 0 ? cnt - 1 : 0), t.first_free()});
+    }
+
+    for (const simd::Level level : levels) {
+      if (!simd::level_supported(level)) continue;
+      ASSERT_TRUE(simd::force_level(level));
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& [a, b] = cases[i];
+        PaletteSet t = a;
+        t.remove_all(b);
+        EXPECT_EQ(a.count(), ref[i].count)
+            << simd::to_string(level) << " width=" << width;
+        EXPECT_EQ(a.intersect_count(b), ref[i].inter)
+            << simd::to_string(level) << " width=" << width;
+        EXPECT_EQ(a.first_free(), ref[i].first)
+            << simd::to_string(level) << " width=" << width;
+        EXPECT_EQ(a.nth_free(ref[i].count > 0 ? ref[i].count - 1 : 0),
+                  ref[i].nth)
+            << simd::to_string(level) << " width=" << width;
+        EXPECT_EQ(t.first_free(), ref[i].removed_first)
+            << simd::to_string(level) << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, NthFreeOutOfRangeIsNoColorAtEveryLevel) {
+  LevelGuard guard;
+  const simd::Level levels[] = {simd::Level::kScalar, simd::Level::kAvx2,
+                                simd::Level::kNeon};
+  PaletteSet s(1024);
+  for (Color c = 0; c < 1024; c += 3) s.insert(c);
+  const int cnt = s.count();
+  for (const simd::Level level : levels) {
+    if (!simd::level_supported(level)) continue;
+    ASSERT_TRUE(simd::force_level(level));
+    EXPECT_EQ(s.nth_free(cnt), kNoColor) << simd::to_string(level);
+    EXPECT_EQ(s.nth_free(cnt + 100), kNoColor) << simd::to_string(level);
+    EXPECT_EQ(s.nth_free(0), 0) << simd::to_string(level);
+  }
+}
+
+TEST(SimdDispatch, ForceUnsupportedLevelIsRejected) {
+  LevelGuard guard;
+  const simd::Level before = simd::active_level();
+#if defined(__x86_64__)
+  EXPECT_FALSE(simd::force_level(simd::Level::kNeon));
+#elif defined(__aarch64__)
+  EXPECT_FALSE(simd::force_level(simd::Level::kAvx2));
+#endif
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+TEST(ScratchArena, AllocationsAre32ByteAligned) {
+  // SIMD kernels may use aligned vector loads on arena-carved scratch, so
+  // every allocation lands on a 32-byte absolute address — including small
+  // types, overflow-path blocks, and re-used capacity after reset().
+  ScratchArena arena;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::size_t count : {1u, 7u, 64u, 1000u}) {
+      const auto* bytes = arena.alloc<std::uint8_t>(count);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bytes) %
+                    ScratchArena::kMinAlign,
+                0u);
+      const auto* words = arena.alloc<std::uint64_t>(count);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) %
+                    ScratchArena::kMinAlign,
+                0u);
+    }
+    arena.reset();  // coalesces overflow; next round exercises warm path
+  }
+}
 
 TEST(ScratchArena, FrameRestoresBumpPointer) {
   ScratchArena arena;

@@ -12,6 +12,14 @@
 //
 // Global flags (anywhere on the command line):
 //   --list         list registered algorithms and exit
+//   --load=PATH    graph source for color/check, replacing the positional
+//                  <graph> argument; .dcsr files are mmap'd zero-copy and
+//                  cached by file identity (path, size, mtime) so repeated
+//                  runs in one process share a single mapping
+//   --ids=M       M in {auto, file, shuffled}: LOCAL identifier source.
+//                  auto (default) keeps the file's ids for .dcsr instances
+//                  and shuffles (seed 1) for text edge lists — the
+//                  pre-existing behavior for both formats
 //   --threads=N    worker threads for the round engine (also settable via
 //                  the DELTACOLOR_THREADS env var; default: all cores)
 //   --frontier     sparse activation: re-step only nodes whose closed
@@ -34,18 +42,26 @@
 // 3 unreadable or malformed input file; 4 unknown algorithm or generator
 // family. Documented here and in `--help`.
 //
-// Graphs are plain edge lists ("n m" header then "u v" per line); colorings
-// are "v color" lines. `color` prints the summary and round ledger, writes
-// the coloring if an output path is given, and exits non-zero on failure.
+// Graphs are plain edge lists ("n m" header then "u v" per line) or binary
+// .dcsr containers (see graph/csr_file.hpp) — the format is sniffed from
+// the file's magic, and `gen` writes .dcsr when the output path has that
+// extension. Colorings are "v color" lines. `color` prints the summary and
+// round ledger, writes the coloring if an output path is given, and exits
+// non-zero on failure.
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+
+#include "bench_support/instance_cache.hpp"
 
 #include "bench_support/sweep.hpp"
 #include "common/stats.hpp"
@@ -69,7 +85,12 @@ int usage() {
          "  dcolor gen regular <n> <degree> <seed> <out>\n"
          "  dcolor color <graph> [algorithm] [seed] [out]\n"
          "  dcolor check <graph> <coloring>\n"
-         "flags: --list (registered algorithms), --threads=N (engine "
+         "graphs: text edge list or binary .dcsr (mmap'd zero-copy; "
+         "sniffed by magic; `gen` writes .dcsr when <out> ends in .dcsr)\n"
+         "flags: --load=PATH (graph source replacing the positional "
+         "<graph>; cached by file identity), --ids=auto|file|shuffled "
+         "(LOCAL id source; auto = file ids for .dcsr, shuffled for text), "
+         "--list (registered algorithms), --threads=N (engine "
          "workers, 0 = auto; env DELTACOLOR_THREADS), --frontier (sparse "
          "activation), --repeat=N (color: N seeds as sweep cells, "
          "aggregate stats), --validate=off|end|phase (oracle mode: check "
@@ -98,22 +119,75 @@ ValidateMode g_validate = ValidateMode::kOff;  // from --validate=M
 int g_retries = 1;                             // from --retries=N
 std::string g_journal_path;                    // from --journal=P
 bool g_resume = false;                         // from --resume
+std::string g_load_path;                       // from --load=PATH
+
+enum class IdsMode { kAuto, kFile, kShuffled };
+IdsMode g_ids = IdsMode::kAuto;  // from --ids=M
+
+std::uint64_t file_bytes_of(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0
+             ? static_cast<std::uint64_t>(st.st_size)
+             : 0;
+}
+
+/// Instance provenance, on stderr next to the engine report: where the
+/// graph came from (loaded file + format + byte size, or generated
+/// family), how big it is, and which LOCAL ids it runs with.
+void report_loaded_instance(const std::string& path, bool dcsr,
+                            const Graph& g, const char* ids) {
+  std::cerr << "dcolor: instance file=" << path
+            << " format=" << (dcsr ? "dcsr" : "edge-list")
+            << " bytes=" << file_bytes_of(path) << " n=" << g.num_nodes()
+            << " m=" << g.num_edges() << " Delta=" << g.max_degree()
+            << " ids=" << ids << "\n";
+}
+
+void report_generated_instance(const std::string& family, const Graph& g) {
+  std::cerr << "dcolor: instance generated family=" << family
+            << " n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree() << "\n";
+}
 
 /// One-line error + kExitBadFile instead of the library's DC_CHECK
-/// (file:line logic_error) for operator-facing input problems.
+/// (file:line logic_error) for operator-facing input problems. Sniffs the
+/// .dcsr magic, so both formats load transparently.
 std::optional<Graph> try_load_graph(const std::string& path) {
+  if (is_csr_file(path)) {
+    try {
+      Graph g = load_csr_file(path);
+      report_loaded_instance(path, /*dcsr=*/true, g, "file");
+      return g;
+    } catch (const CsrError& e) {
+      std::cerr << "dcolor: " << e.what() << "\n";
+      return std::nullopt;
+    }
+  }
   std::ifstream is(path);
   if (!is.good()) {
     std::cerr << "dcolor: cannot open graph file '" << path << "'\n";
     return std::nullopt;
   }
   try {
-    return read_edge_list(is);
+    Graph g = read_edge_list(is);
+    report_loaded_instance(path, /*dcsr=*/false, g, "file");
+    return g;
   } catch (const std::exception&) {
     std::cerr << "dcolor: malformed edge list in '" << path
               << "' (expected \"n m\" header then m \"u v\" lines)\n";
     return std::nullopt;
   }
+}
+
+/// `gen` output: .dcsr extension selects the binary container, anything
+/// else the text edge list.
+void save_graph_as(const std::string& path, const Graph& g) {
+  const std::string ext = ".dcsr";
+  if (path.size() >= ext.size() &&
+      path.compare(path.size() - ext.size(), ext.size(), ext) == 0)
+    write_csr_file(path, g);
+  else
+    save_edge_list(path, g);
 }
 
 void write_coloring(const std::string& path, const std::vector<Color>& c) {
@@ -160,7 +234,8 @@ int cmd_gen(int argc, char** argv) {
     opt.easy_fraction = std::atof(argv[6]) / 100.0;
     opt.seed = std::strtoull(argv[7], nullptr, 10);
     const CliqueInstance inst = clique_blowup_instance(opt);
-    save_edge_list(argv[8], inst.graph);
+    report_generated_instance("blowup", inst.graph);
+    save_graph_as(argv[8], inst.graph);
     std::cout << "wrote " << argv[8] << ": n=" << inst.graph.num_nodes()
               << " m=" << inst.graph.num_edges() << " Delta="
               << inst.graph.max_degree() << "\n";
@@ -170,7 +245,8 @@ int cmd_gen(int argc, char** argv) {
     const CliqueInstance inst = clique_ring(
         std::atoi(argv[3]), std::atoi(argv[4]),
         std::strtoull(argv[5], nullptr, 10));
-    save_edge_list(argv[6], inst.graph);
+    report_generated_instance("ring", inst.graph);
+    save_graph_as(argv[6], inst.graph);
     std::cout << "wrote " << argv[6] << ": n=" << inst.graph.num_nodes()
               << "\n";
     return 0;
@@ -179,7 +255,8 @@ int cmd_gen(int argc, char** argv) {
     const Graph g = random_regular(
         static_cast<NodeId>(std::atoi(argv[3])), std::atoi(argv[4]),
         std::strtoull(argv[5], nullptr, 10));
-    save_edge_list(argv[6], g);
+    report_generated_instance("regular", g);
+    save_graph_as(argv[6], g);
     std::cout << "wrote " << argv[6] << ": n=" << g.num_nodes() << "\n";
     return 0;
   }
@@ -227,8 +304,13 @@ bool decode_repeat_row(std::string_view text, RepeatRow* out) {
 }
 
 int cmd_color(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string algo = argc > 3 ? argv[3] : "det";
+  // With --load=PATH the positional <graph> argument disappears and the
+  // remaining positionals shift left one slot.
+  const int base = g_load_path.empty() ? 3 : 2;
+  if (argc < base) return usage();
+  const std::string graph_path =
+      g_load_path.empty() ? argv[2] : g_load_path;
+  const std::string algo = argc > base ? argv[base] : "det";
   const AlgorithmEntry* entry = find_algorithm(algo);
   if (entry == nullptr) {
     std::cerr << "dcolor: unknown algorithm '" << algo << "'";
@@ -243,15 +325,49 @@ int cmd_color(int argc, char** argv) {
     return kExitUnknownAlgorithm;
   }
 
-  auto loaded = try_load_graph(argv[2]);
-  if (!loaded) return kExitBadFile;
-  Graph g = std::move(*loaded);
-  g.set_ids(shuffled_ids(g.num_nodes(), 1));
+  // Load through the instance cache keyed by file identity: repeated
+  // color runs (and every --repeat cell) in one process share a single
+  // parse — for a .dcsr file, a single zero-copy mapping.
+  const bool dcsr = is_csr_file(graph_path);
+  std::shared_ptr<const Graph> shared;
+  try {
+    shared = bench::InstanceCache::global().file_graph(graph_path, [&] {
+      if (dcsr) return load_csr_file(graph_path);
+      std::ifstream is(graph_path);
+      if (!is.good())
+        throw std::runtime_error("cannot open graph file '" + graph_path +
+                                 "'");
+      try {
+        return read_edge_list(is);
+      } catch (const std::exception&) {
+        throw std::runtime_error(
+            "malformed edge list in '" + graph_path +
+            "' (expected \"n m\" header then m \"u v\" lines)");
+      }
+    });
+  } catch (const std::exception& e) {
+    std::cerr << "dcolor: " << e.what() << "\n";
+    return kExitBadFile;
+  }
+  // LOCAL identifiers: text instances historically run with shuffled ids
+  // (seed 1); mapped .dcsr instances default to the ids stored in the
+  // file, which keeps the cached graph untouched and the ids section
+  // zero-copy. --ids overrides either way.
+  const bool shuffle = g_ids == IdsMode::kShuffled ||
+                       (g_ids == IdsMode::kAuto && !dcsr);
+  Graph reidentified;
+  if (shuffle) {
+    reidentified = *shared;  // shares any mapping; copies in-memory arrays
+    reidentified.set_ids(shuffled_ids(reidentified.num_nodes(), 1));
+  }
+  const Graph& g = shuffle ? reidentified : *shared;
+  report_loaded_instance(graph_path, dcsr, g, shuffle ? "shuffled" : "file");
   AlgorithmRequest req;
-  req.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  req.seed =
+      argc > base + 1 ? std::strtoull(argv[base + 1], nullptr, 10) : 1;
   req.engine = g_engine;
   req.validate = g_validate;
-  const std::string out = argc > 5 ? argv[5] : "";
+  const std::string out = argc > base + 2 ? argv[base + 2] : "";
 
   if (g_repeat > 1) {
     // Batch mode: seeds seed..seed+N-1 run as sweep cells over the one
@@ -279,7 +395,6 @@ int cmd_color(int argc, char** argv) {
           return decode_repeat_row(text, row);
         }};
     // Cell key = instance + algorithm + seed, stable across processes.
-    const std::string graph_path = argv[2];
     const auto key_fn = [&](std::size_t i) {
       std::ostringstream key;
       key << "file/" << graph_path << "/alg=" << algo
@@ -358,10 +473,12 @@ int cmd_color(int argc, char** argv) {
 }
 
 int cmd_check(int argc, char** argv) {
-  if (argc != 4) return usage();
-  const auto g = try_load_graph(argv[2]);
+  const int base = g_load_path.empty() ? 3 : 2;
+  if (argc != base + 1) return usage();
+  const auto g =
+      try_load_graph(g_load_path.empty() ? argv[2] : g_load_path);
   if (!g) return kExitBadFile;
-  const auto color = try_read_coloring(argv[3]);
+  const auto color = try_read_coloring(argv[base]);
   if (!color) return kExitBadFile;
   if (color->size() != g->num_nodes()) {
     std::cerr << "dcolor: coloring has " << color->size()
@@ -419,6 +536,25 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--resume") {
       g_resume = true;
+    } else if (arg.rfind("--load=", 0) == 0) {
+      g_load_path = arg.substr(7);
+      if (g_load_path.empty()) {
+        std::cerr << "dcolor: invalid --load= (need a path)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--ids=", 0) == 0) {
+      const std::string mode = arg.substr(6);
+      if (mode == "auto") {
+        g_ids = IdsMode::kAuto;
+      } else if (mode == "file") {
+        g_ids = IdsMode::kFile;
+      } else if (mode == "shuffled") {
+        g_ids = IdsMode::kShuffled;
+      } else {
+        std::cerr << "dcolor: invalid " << arg
+                  << " (modes: auto, file, shuffled)\n";
+        return kExitUsage;
+      }
     } else if (arg == "--list") {
       return list_algorithms();
     } else if (arg == "--help" || arg == "-h") {
