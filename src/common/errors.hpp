@@ -27,7 +27,10 @@ namespace deltacolor {
 
 /// Failure taxonomy. kProcessKill never appears in a CellError — it is a
 /// FaultInjector-only action (simulating a SIGKILL mid-sweep for the
-/// journal/--resume round-trip tests).
+/// journal/--resume round-trip tests, or killing one shard worker when the
+/// spec carries round/shard coordinates). A shard worker that dies under
+/// the proc backend surfaces in the *coordinator* as kWorkerDeath, which
+/// flows through the same retry/quarantine policy as every other category.
 enum class FaultCategory {
   kInvariantViolation,   ///< oracle found an improper partial/final coloring
   kRoundBudgetExceeded,  ///< cell consumed more simulated rounds than allowed
@@ -35,6 +38,7 @@ enum class FaultCategory {
   kAllocationLimit,      ///< scratch arena byte budget exhausted
   kEngineException,      ///< any other exception escaping the cell
   kProcessKill,          ///< injector-only: hard process exit (resume tests)
+  kWorkerDeath,          ///< a shard worker process died mid-stage
 };
 
 constexpr std::string_view to_string(FaultCategory c) {
@@ -45,6 +49,7 @@ constexpr std::string_view to_string(FaultCategory c) {
     case FaultCategory::kAllocationLimit: return "allocation-limit";
     case FaultCategory::kEngineException: return "engine-exception";
     case FaultCategory::kProcessKill: return "process-kill";
+    case FaultCategory::kWorkerDeath: return "worker-death";
   }
   return "unknown";
 }
@@ -55,7 +60,8 @@ inline bool parse_fault_category(std::string_view name, FaultCategory* out) {
   for (const FaultCategory c :
        {FaultCategory::kInvariantViolation, FaultCategory::kRoundBudgetExceeded,
         FaultCategory::kWallClockTimeout, FaultCategory::kAllocationLimit,
-        FaultCategory::kEngineException, FaultCategory::kProcessKill}) {
+        FaultCategory::kEngineException, FaultCategory::kProcessKill,
+        FaultCategory::kWorkerDeath}) {
     if (name == to_string(c)) {
       *out = c;
       return true;

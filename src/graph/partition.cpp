@@ -1,0 +1,64 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+namespace deltacolor {
+
+int ShardManifest::owner(NodeId v) const {
+  // First bound strictly greater than v, minus one: bounds are ascending
+  // (possibly with equal entries for empty shards), and the owner is the
+  // unique shard whose half-open range contains v.
+  const auto it = std::upper_bound(bounds.begin() + 1, bounds.end(),
+                                   static_cast<std::size_t>(v));
+  return static_cast<int>(it - bounds.begin()) - 1;
+}
+
+ShardManifest ShardManifest::build(const Graph& g, int shards) {
+  DC_CHECK(shards >= 1);
+  ShardManifest m;
+  m.bounds = degree_balanced_bounds(g, shards);
+  const std::size_t parts = static_cast<std::size_t>(shards);
+  m.boundary.resize(parts);
+  m.ghosts.resize(parts);
+  m.sub_offsets.resize(parts);
+  m.sub_targets.resize(parts);
+  m.boundary_edges.assign(parts, 0);
+
+  // Node -> owner without a per-neighbor binary search: walk the ascending
+  // node range once per shard and compare neighbor ids against the shard's
+  // own [lo, hi) window, falling back to owner() only for cut neighbors.
+  std::vector<std::uint32_t> subs;  // scratch: subscriber shards of one node
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t lo = m.bounds[static_cast<std::size_t>(s)];
+    const std::size_t hi = m.bounds[static_cast<std::size_t>(s) + 1];
+    auto& boundary = m.boundary[static_cast<std::size_t>(s)];
+    auto& ghosts = m.ghosts[static_cast<std::size_t>(s)];
+    auto& offsets = m.sub_offsets[static_cast<std::size_t>(s)];
+    auto& targets = m.sub_targets[static_cast<std::size_t>(s)];
+    offsets.push_back(0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      subs.clear();
+      for (const NodeId u : g.neighbors(v)) {
+        if (u >= lo && u < hi) continue;  // interior edge
+        ++m.boundary_edges[static_cast<std::size_t>(s)];
+        ghosts.push_back(u);
+        subs.push_back(static_cast<std::uint32_t>(m.owner(u)));
+      }
+      if (subs.empty()) continue;
+      std::sort(subs.begin(), subs.end());
+      subs.erase(std::unique(subs.begin(), subs.end()), subs.end());
+      boundary.push_back(v);
+      targets.insert(targets.end(), subs.begin(), subs.end());
+      offsets.push_back(static_cast<std::uint32_t>(targets.size()));
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  }
+  std::uint64_t incident = 0;
+  for (const std::uint64_t e : m.boundary_edges) incident += e;
+  m.cut_edges = incident / 2;  // every cut edge is incident to two shards
+  return m;
+}
+
+}  // namespace deltacolor

@@ -1,0 +1,104 @@
+// Vertex partitioner and shard manifest for the sharded execution backend.
+//
+// A shard split assigns every node to exactly one of `parts` contiguous
+// ranges whose (deg + 1)-weight sums are balanced — the same weighting the
+// engine's stable worker chunks use (sync_runner.hpp), shared here so one
+// definition serves both. On top of the ranges, ShardManifest precomputes
+// the halo-exchange tables a multi-process run needs at every round
+// barrier:
+//
+//   boundary[s]  owned nodes of shard s with at least one neighbor owned
+//                elsewhere — the only nodes whose state anyone else ever
+//                needs (ascending, so workers can emit changed-state
+//                records in a single ordered boundary scan);
+//   ghosts[s]    nodes owned elsewhere that some node of shard s reads —
+//                the slots a worker refreshes from incoming records each
+//                barrier (ascending, deduplicated);
+//   subscriber CSR  for boundary[s][i], the sorted shard ids that ghost
+//                that node; the coordinator routes a changed-state record
+//                to exactly these shards, so exchange volume is the cut,
+//                not the graph.
+//
+// Everything is a pure function of (degree sequence, adjacency, parts):
+// manifests are deterministic, and a 1-shard manifest has empty boundary /
+// ghost tables (the whole graph is interior).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace deltacolor {
+
+/// Degree-balanced contiguous bounds over [0, n): part p owns nodes
+/// [bounds[p], bounds[p+1]) whose (deg + 1)-weight sums to ~1/parts of the
+/// total (2m + n). Boundaries round up to `align`-node groups (the engine
+/// uses 64 so a cache line of word-sized state never straddles workers;
+/// shard manifests use 1 — pure balance). Parts may exceed n; trailing
+/// parts are then empty. O(n).
+template <typename GraphT>
+std::vector<std::size_t> degree_balanced_bounds(const GraphT& g, int parts,
+                                                std::size_t align = 1) {
+  DC_CHECK(parts >= 1);
+  DC_CHECK(align >= 1);
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(parts) + 1, n);
+  bounds[0] = 0;
+  const std::uint64_t total = 2ull * g.num_edges() + n;  // sum of deg(v) + 1
+  std::uint64_t seen = 0;
+  std::size_t v = 0;
+  for (int p = 1; p < parts; ++p) {
+    const std::uint64_t target = total * static_cast<std::uint64_t>(p) /
+                                 static_cast<std::uint64_t>(parts);
+    while (v < n && seen < target) {
+      seen += static_cast<std::uint64_t>(g.degree(static_cast<NodeId>(v))) + 1;
+      ++v;
+    }
+    const std::size_t aligned = std::min(n, (v + align - 1) / align * align);
+    while (v < aligned) {
+      seen += static_cast<std::uint64_t>(g.degree(static_cast<NodeId>(v))) + 1;
+      ++v;
+    }
+    bounds[static_cast<std::size_t>(p)] = v;
+  }
+  return bounds;
+}
+
+/// The static halo-exchange tables for one (graph, shard count) pair. Host
+/// graphs only: lazy views have no cheap global edge scan, and the proc
+/// backend runs host-graph stages anyway (everything else stays in-process).
+struct ShardManifest {
+  /// Contiguous ownership ranges: shard s owns [bounds[s], bounds[s+1]).
+  std::vector<std::size_t> bounds;
+  /// Per shard: owned nodes with an off-shard neighbor, ascending.
+  std::vector<std::vector<NodeId>> boundary;
+  /// Per shard: off-shard nodes read by this shard, ascending, unique.
+  std::vector<std::vector<NodeId>> ghosts;
+  /// Subscriber CSR aligned with boundary[s]: the shards ghosting
+  /// boundary[s][i] are sub_targets[s][sub_offsets[s][i] ..
+  /// sub_offsets[s][i+1]), sorted ascending.
+  std::vector<std::vector<std::uint32_t>> sub_offsets;
+  std::vector<std::vector<std::uint32_t>> sub_targets;
+  /// Per shard: edges with exactly one endpoint in the shard. Sums to
+  /// 2 * cut_edges across shards.
+  std::vector<std::uint64_t> boundary_edges;
+  /// Edges whose endpoints live in different shards, each counted once.
+  std::uint64_t cut_edges = 0;
+
+  int num_shards() const { return static_cast<int>(bounds.size()) - 1; }
+  std::size_t shard_size(int s) const {
+    return bounds[static_cast<std::size_t>(s) + 1] -
+           bounds[static_cast<std::size_t>(s)];
+  }
+  /// Owning shard of `v` (binary search over the contiguous bounds).
+  int owner(NodeId v) const;
+
+  /// Builds the manifest for `shards` degree-balanced contiguous ranges.
+  static ShardManifest build(const Graph& g, int shards);
+};
+
+}  // namespace deltacolor

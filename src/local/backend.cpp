@@ -1,0 +1,85 @@
+#include "local/backend.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace deltacolor {
+
+ProcShardedBackend::ProcShardedBackend(int shards) : shards_(shards) {
+  DC_CHECK_MSG(shards >= 1, "ProcShardedBackend needs at least one shard");
+  totals_.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
+  totals_.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
+}
+
+void ProcShardedBackend::prepare(const Graph& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& plan : plans_)
+    if (plan->graph == &g) return;
+  auto plan = std::make_unique<ShardPlan>();
+  plan->graph = &g;
+  plan->manifest = ShardManifest::build(g, shards_);
+  plans_.push_back(std::move(plan));
+}
+
+const ShardPlan* ProcShardedBackend::plan_for(const Graph& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& plan : plans_)
+    if (plan->graph == &g) return plan.get();
+  ++totals_.fallback_stages;  // unprepared graph (e.g. a nested subgraph)
+  return nullptr;
+}
+
+void ProcShardedBackend::note_stage(const ShardPlan& plan,
+                                    const ShardStageStats& stats) {
+  (void)plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.stages;
+  totals_.rounds += static_cast<std::uint64_t>(stats.rounds);
+  for (std::size_t s = 0; s < stats.ghost_bytes_in.size() &&
+                          s < totals_.ghost_bytes_in.size();
+       ++s) {
+    totals_.ghost_bytes_in[s] += stats.ghost_bytes_in[s];
+    totals_.boundary_bytes_out[s] += stats.boundary_bytes_out[s];
+  }
+}
+
+void ProcShardedBackend::note_fallback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.fallback_stages;
+}
+
+ProcShardedBackend::Totals ProcShardedBackend::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+std::string ProcShardedBackend::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  const ShardManifest* mf =
+      plans_.empty() ? nullptr : &plans_.front()->manifest;
+  for (int s = 0; s < shards_; ++s) {
+    const std::size_t i = static_cast<std::size_t>(s);
+    os << "SHARDS shard=" << s;
+    if (mf != nullptr) {
+      os << " nodes=" << mf->shard_size(s)
+         << " boundary=" << mf->boundary[i].size()
+         << " ghosts=" << mf->ghosts[i].size()
+         << " cut_edges=" << mf->boundary_edges[i];
+    }
+    const std::uint64_t in = totals_.ghost_bytes_in[i];
+    const std::uint64_t out = totals_.boundary_bytes_out[i];
+    os << " ghost_bytes_in=" << in << " boundary_bytes_out=" << out;
+    if (totals_.rounds > 0)
+      os << " ghost_bytes_per_round=" << in / totals_.rounds;
+    os << "\n";
+  }
+  os << "SHARDS total shards=" << shards_ << " stages=" << totals_.stages
+     << " fallback_stages=" << totals_.fallback_stages
+     << " rounds=" << totals_.rounds;
+  if (mf != nullptr) os << " cut_edges=" << mf->cut_edges;
+  return os.str();
+}
+
+}  // namespace deltacolor

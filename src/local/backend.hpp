@@ -1,0 +1,129 @@
+// ExecutionBackend: where SyncRunner stages execute.
+//
+// The round engine's semantics are fixed by sync_runner.hpp; a backend only
+// chooses the *placement* of a stage's node sweep. Two implementations:
+//
+//   InProcessBackend   the existing engine path, unchanged — every stage
+//                      steps in this process on the ThreadPool. This is the
+//                      oracle: any other backend must be bit-identical.
+//   ProcShardedBackend one forked worker process per shard, each stepping
+//                      only its contiguous degree-balanced node range and
+//                      exchanging boundary-node state at round barriers
+//                      (shard_runner.hpp). Only stages that are provably
+//                      shardable run this way — host-graph runners with
+//                      trivially-copyable equality-comparable state whose
+//                      halting condition decomposes per node (see
+//                      SyncRunner::run_until / run_rounds); everything else
+//                      silently takes the in-process path, so composed
+//                      pipelines mix placements freely and results never
+//                      depend on the backend.
+//
+// Plans are opt-in per graph: ProcShardedBackend::prepare(g) builds and
+// caches the manifest for the instance the caller wants sharded (the
+// top-level graph of a run). Nested per-component subgraphs extracted by
+// the composed pipelines are deliberately *not* auto-prepared — forking
+// workers per tiny subgraph stage would cost far more than it saves; those
+// stages fall back in-process and are counted as such.
+//
+// A backend outlives every runner using it; EngineOptions carries a
+// non-owning pointer (nullptr = in-process, the default everywhere).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/partition.hpp"
+
+namespace deltacolor {
+
+/// A prepared shard split of one host graph.
+struct ShardPlan {
+  const Graph* graph = nullptr;
+  ShardManifest manifest;
+};
+
+/// Per-stage exchange accounting reported by the shard runner.
+struct ShardStageStats {
+  int rounds = 0;
+  /// Per shard: bytes of ghost records delivered to the shard (sum over
+  /// rounds of routed changed-boundary records).
+  std::vector<std::uint64_t> ghost_bytes_in;
+  /// Per shard: bytes of changed-boundary records the shard published.
+  std::vector<std::uint64_t> boundary_bytes_out;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// The shard plan for `g`, or nullptr to run the stage in-process. Called
+  /// only for stages that pass the static shardability gates; returning a
+  /// plan commits the engine to the sharded path for that stage.
+  virtual const ShardPlan* plan_for(const Graph& g) = 0;
+
+  /// Accounting: one sharded stage completed.
+  virtual void note_stage(const ShardPlan& plan,
+                          const ShardStageStats& stats) {
+    (void)plan;
+    (void)stats;
+  }
+  /// Accounting: a stage consulted this backend but ran in-process (type
+  /// gates failed, or no plan covers its graph).
+  virtual void note_fallback() {}
+};
+
+/// The oracle placement: everything in-process. Exists so `--backend=inproc`
+/// is an explicit spelling of the default nullptr backend.
+class InProcessBackend : public ExecutionBackend {
+ public:
+  const char* name() const override { return "inproc"; }
+  const ShardPlan* plan_for(const Graph&) override { return nullptr; }
+};
+
+/// Multi-process sharded placement with halo exchange.
+class ProcShardedBackend : public ExecutionBackend {
+ public:
+  explicit ProcShardedBackend(int shards);
+
+  const char* name() const override { return "proc"; }
+  int shards() const { return shards_; }
+
+  /// Builds (once) and caches the shard manifest for `g`. Thread-safe;
+  /// concurrent sweep cells sharing one instance share one plan.
+  void prepare(const Graph& g);
+
+  const ShardPlan* plan_for(const Graph& g) override;
+  void note_stage(const ShardPlan& plan,
+                  const ShardStageStats& stats) override;
+  void note_fallback() override;
+
+  /// Accounting snapshot for reports/tests.
+  struct Totals {
+    std::uint64_t stages = 0;           ///< sharded stages completed
+    std::uint64_t fallback_stages = 0;  ///< stages that ran in-process
+    std::uint64_t rounds = 0;           ///< rounds across sharded stages
+    std::vector<std::uint64_t> ghost_bytes_in;      // per shard
+    std::vector<std::uint64_t> boundary_bytes_out;  // per shard
+  };
+  Totals totals() const;
+
+  /// Multi-line "SHARDS ..." accounting block: one line per shard (owned
+  /// nodes, boundary nodes, ghost slots, cut edges, ghost bytes exchanged,
+  /// per-round average) plus a totals line — the sharded counterpart of the
+  /// SweepDriver's SWEEP line. Uses the first prepared plan's manifest for
+  /// the static columns.
+  std::string report() const;
+
+ private:
+  const int shards_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ShardPlan>> plans_;
+  Totals totals_;
+};
+
+}  // namespace deltacolor

@@ -73,6 +73,7 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out) {
     if (key == "cell" && parse_int(value, &spec.cell)) continue;
     if (key == "round" && parse_int(value, &spec.round)) continue;
     if (key == "node" && parse_int(value, &spec.node)) continue;
+    if (key == "shard" && parse_int(value, &spec.shard)) continue;
     if (key == "phase" && !value.empty()) {
       spec.phase = std::string(value);
       continue;
@@ -163,13 +164,15 @@ std::int64_t FaultInjector::current_cell() { return tls_cell; }
 int FaultInjector::current_attempt() { return tls_attempt; }
 
 bool FaultInjector::claim(FaultCategory category, std::int64_t round,
-                          std::string_view phase, FaultSpec* out) {
+                          std::string_view phase, FaultSpec* out,
+                          std::int64_t shard) {
   std::lock_guard<std::mutex> lock(mu_);
   for (ArmedSpec& armed : plan_) {
     const FaultSpec& s = armed.spec;
     if (s.category != category) continue;
     if (s.cell >= 0 && s.cell != tls_cell) continue;
     if (s.round >= 0 && s.round != round) continue;
+    if (s.shard >= 0 && s.shard != shard) continue;
     if (!s.phase.empty() && s.phase != phase) continue;
     if (s.attempts > 0 && tls_attempt >= s.attempts) continue;
     if (armed.fired_cell == tls_cell && armed.fired_attempt == tls_attempt)
@@ -218,6 +221,17 @@ void FaultInjector::on_engine_round(int round) {
   if (claim(FaultCategory::kEngineException, round, {}, &spec))
     throw std::runtime_error("injected engine exception (round " +
                              std::to_string(round) + ")");
+}
+
+void FaultInjector::on_shard_round(int shard, int round) {
+  FaultSpec spec;
+  // Round-coordinate process kills target the worker loop: the cell-start
+  // site never matches them (it probes with round = -1), and a spec
+  // *without* a round fires at cell start in the coordinator before any
+  // worker exists. A spec without shard= kills every matching worker — the
+  // injector state is per process, and each forked worker owns a copy.
+  if (claim(FaultCategory::kProcessKill, round, {}, &spec, shard))
+    std::_Exit(137);
 }
 
 void FaultInjector::on_alloc_growth(std::size_t bytes) {

@@ -17,7 +17,13 @@
 //                         oracle site so the --validate checker detects a
 //                         genuine monochromatic edge
 //   kProcessKill        — std::_Exit(137) at cell start, simulating a
-//                         SIGKILL mid-sweep for journal/--resume round-trips
+//                         SIGKILL mid-sweep for journal/--resume round-trips;
+//                         with round= (and optionally shard=) coordinates it
+//                         instead fires inside a proc-backend shard worker's
+//                         round loop, killing that worker process — the
+//                         coordinator then reports a structured worker-death
+//                         CellError (round=-1 specs never match worker sites,
+//                         and round>=0 specs never match cell start)
 //
 // Determinism: a spec fires iff its coordinates match the thread-local
 // (cell, attempt) installed by the SweepDriver plus the probe-site (round,
@@ -36,7 +42,7 @@
 // per-binary wiring. Spec grammar:
 //   category@key=value,key=value,...
 // with category one of the to_string(FaultCategory) names and keys
-//   cell= round= phase= node= attempts= extra_rounds= sleep_ms=
+//   cell= round= phase= node= shard= attempts= extra_rounds= sleep_ms=
 // (attempts=N fires on the first N attempts of a cell, default 1, so a
 // retried cell succeeds; attempts=0 means every attempt, forcing
 // quarantine).
@@ -63,6 +69,7 @@ struct FaultSpec {
   std::int64_t round = -1;  ///< exact engine round (engine-round site only)
   std::string phase;        ///< ledger phase label (charge/oracle sites)
   std::int64_t node = -1;   ///< corruption target (invariant faults)
+  std::int64_t shard = -1;  ///< proc-backend shard id (worker-round site)
   /// Fire while the cell's attempt index is < attempts (0 = every attempt).
   int attempts = 1;
   // Payloads.
@@ -125,6 +132,12 @@ class FaultInjector {
   /// timeout stalls.
   void on_engine_round(int round);
 
+  /// Proc-backend shard worker round loop (runs in the forked worker, which
+  /// inherited the armed plan and the cell scope): fires process-kill specs
+  /// with round (and optionally shard) coordinates via std::_Exit(137), so
+  /// the coordinator's worker-death detection is exercised for real.
+  void on_shard_round(int shard, int round);
+
   /// ScratchArena growth (installed as the arena's alloc probe while
   /// armed): throws an allocation-limit CellError on match.
   void on_alloc_growth(std::size_t bytes);
@@ -151,7 +164,8 @@ class FaultInjector {
   /// current (cell, attempt) and the given site coordinates, marking it
   /// fired. nullptr when none. Caller holds no lock.
   bool claim(FaultCategory category, std::int64_t round,
-             std::string_view phase, FaultSpec* out);
+             std::string_view phase, FaultSpec* out,
+             std::int64_t shard = -1);
 
   mutable std::mutex mu_;
   std::vector<ArmedSpec> plan_;

@@ -59,21 +59,17 @@ std::vector<bool> mis_message_passing(const Graph& g, std::uint64_t seed,
     }
     return s;
   };
-  const auto done = [](const std::vector<MisState>& states) {
-    for (const MisState& s : states) {
-      if (s.status == MisStatus::kUndecided ||
-          s.status == MisStatus::kCandidate) {
-        // A candidate may still need its resolution round.
-        return false;
-      }
-    }
-    return true;
+  // A candidate may still need its resolution round, so halting requires
+  // every node In or Out. Node-decomposed (run_until) so the proc backend
+  // can evaluate it with one AND-bit per shard.
+  const auto done_node = [](NodeId, const MisState& s) {
+    return s.status == MisStatus::kIn || s.status == MisStatus::kOut;
   };
   // One extra sweep after the last join lets neighbors observe it.
   int rounds;
   {
     ScopedPhaseTimer timer(ledger, phase);
-    rounds = runner.run(max_rounds, step, done);
+    rounds = runner.run_until(max_rounds, step, done_node);
   }
   // Post-pass: neighbors of IN nodes that were still undecided at halt.
   std::vector<bool> in_set(n, false);
@@ -158,15 +154,13 @@ std::vector<Color> color_trial_message_passing(const Graph& g,
     s.trial = kNoColor;
     return s;
   };
-  const auto done = [](const std::vector<TrialState>& states) {
-    for (const TrialState& s : states)
-      if (s.color == kNoColor) return false;
-    return true;
+  const auto done_node = [](NodeId, const TrialState& s) {
+    return s.color != kNoColor;
   };
   int rounds;
   {
     ScopedPhaseTimer timer(ledger, phase);
-    rounds = runner.run(max_rounds, step, done);
+    rounds = runner.run_until(max_rounds, step, done_node);
   }
   DC_CHECK_MSG(rounds < max_rounds,
                "color_trial_message_passing did not converge");

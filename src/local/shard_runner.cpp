@@ -1,0 +1,189 @@
+#include "local/shard_runner.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/errors.hpp"
+
+namespace deltacolor {
+
+ShardStage::ShardStage(const ShardPlan& plan, std::size_t state_size)
+    : plan_(plan),
+      state_size_(state_size),
+      record_size_(4 + state_size) {
+  DC_CHECK(plan_.graph != nullptr);
+  DC_CHECK(state_size_ > 0);
+}
+
+ShardStage::~ShardStage() {
+  // Close our ends first: a worker blocked in recv() sees EOF and exits on
+  // its own; anything still alive after that (wedged mid-step, mid-fault
+  // sleep) is killed. SIGKILL on an already-exited child is a no-op, and
+  // the waitpid reaps either way — no zombies, no hang.
+  chans_.clear();
+  for (const pid_t pid : pids_) {
+    if (pid <= 0) continue;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+}
+
+void ShardStage::spawn(
+    const std::function<void(int, FrameChannel&)>& worker_main) {
+  const int shards = plan_.manifest.num_shards();
+  DC_CHECK(chans_.empty());
+  chans_.reserve(static_cast<std::size_t>(shards));
+  pids_.assign(static_cast<std::size_t>(shards), -1);
+  // Parent stdio is flushed once so a child's inherited buffers never
+  // replay half-written lines (children write nothing themselves, but
+  // _Exit on an inherited non-empty buffer is the classic dup-output bug).
+  std::fflush(nullptr);
+  for (int s = 0; s < shards; ++s) {
+    auto [parent_end, child_end] = FrameChannel::open_pair();
+    const int keep = child_end.fd();
+    const pid_t pid = FdRegistry::global().fork_with_only(&keep, 1);
+    if (pid < 0) throw TransportError("fork failed for shard worker");
+    if (pid == 0) {
+      // Child: the parent ends registered by other stages (and this one)
+      // are already closed by fork_with_only; run the worker body.
+      worker_main(s, child_end);
+      std::_Exit(1);  // worker_main must not return
+    }
+    pids_[static_cast<std::size_t>(s)] = pid;
+    child_end.close();  // parent keeps only its own end
+    chans_.push_back(std::move(parent_end));
+  }
+}
+
+void ShardStage::die_worker(int shard, int round, const char* what) {
+  ErrorContext ctx;
+  ctx.round = round;
+  throw CellError(FaultCategory::kWorkerDeath,
+                  "shard " + std::to_string(shard) + " worker " + what +
+                      " mid-stage",
+                  ctx);
+}
+
+ShardStage::Result ShardStage::drive(int max_rounds) {
+  const ShardManifest& mf = plan_.manifest;
+  const int shards = mf.num_shards();
+  DC_CHECK(static_cast<int>(chans_.size()) == shards);
+
+  Result res;
+  res.stats.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
+  res.stats.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
+
+  std::vector<Frame> barriers(static_cast<std::size_t>(shards));
+  std::vector<std::vector<std::uint8_t>> out(
+      static_cast<std::size_t>(shards));
+  for (;;) {
+    // Gather every shard's barrier before sending anything: no circular
+    // waits (workers send their barrier unconditionally after stepping),
+    // and a dead worker is detected here as EOF on its channel.
+    bool all_done = true;
+    for (int s = 0; s < shards; ++s) {
+      Frame& f = barriers[static_cast<std::size_t>(s)];
+      bool got = false;
+      try {
+        got = chans_[static_cast<std::size_t>(s)].recv(&f);
+      } catch (const TransportError&) {
+        got = false;
+      }
+      if (!got) die_worker(s, res.rounds, "died");
+      if (f.type == FrameType::kError) {
+        ErrorContext ctx;
+        ctx.round = res.rounds;
+        throw CellError(
+            FaultCategory::kEngineException,
+            "shard " + std::to_string(s) + " worker: " +
+                std::string(f.payload.begin(), f.payload.end()),
+            ctx);
+      }
+      if (f.type != FrameType::kBarrier ||
+          f.payload.size() < 5)
+        die_worker(s, res.rounds, "sent a malformed barrier");
+      all_done &= f.payload[0] != 0;
+    }
+
+    if (all_done || res.rounds >= max_rounds) {
+      for (int s = 0; s < shards; ++s)
+        chans_[static_cast<std::size_t>(s)].send(FrameType::kHalt, nullptr,
+                                                 0);
+      return res;
+    }
+
+    // Route each shard's changed-boundary records to its subscribers. The
+    // records arrive ascending (workers scan their sorted boundary list),
+    // so a single merge walk against boundary[s] finds each record's
+    // subscriber slice.
+    for (auto& payload : out) payload.assign(4, 0);  // count placeholder
+    for (int s = 0; s < shards; ++s) {
+      const std::size_t si = static_cast<std::size_t>(s);
+      const Frame& f = barriers[si];
+      std::uint32_t count = 0;
+      std::memcpy(&count, f.payload.data() + 1, 4);
+      if (f.payload.size() != 5 + count * record_size_)
+        die_worker(s, res.rounds, "sent a torn barrier payload");
+      res.stats.boundary_bytes_out[si] += count * record_size_;
+      const std::uint8_t* rec = f.payload.data() + 5;
+      const auto& boundary = mf.boundary[si];
+      const auto& offsets = mf.sub_offsets[si];
+      const auto& targets = mf.sub_targets[si];
+      std::size_t idx = 0;
+      for (std::uint32_t i = 0; i < count; ++i, rec += record_size_) {
+        std::uint32_t node = 0;
+        std::memcpy(&node, rec, 4);
+        while (idx < boundary.size() && boundary[idx] < node) ++idx;
+        if (idx >= boundary.size() || boundary[idx] != node)
+          die_worker(s, res.rounds, "published a non-boundary node");
+        for (std::uint32_t t = offsets[idx]; t < offsets[idx + 1]; ++t) {
+          auto& payload = out[targets[t]];
+          payload.insert(payload.end(), rec, rec + record_size_);
+          res.stats.ghost_bytes_in[targets[t]] += record_size_;
+        }
+      }
+    }
+    for (int s = 0; s < shards; ++s) {
+      auto& payload = out[static_cast<std::size_t>(s)];
+      const std::uint32_t count = static_cast<std::uint32_t>(
+          (payload.size() - 4) / record_size_);
+      std::memcpy(payload.data(), &count, 4);
+      try {
+        chans_[static_cast<std::size_t>(s)].send(FrameType::kStep, payload);
+      } catch (const TransportError&) {
+        die_worker(s, res.rounds, "died");
+      }
+    }
+    ++res.rounds;
+    res.stats.rounds = res.rounds;
+  }
+}
+
+void ShardStage::collect(
+    const std::function<void(int, const std::uint8_t*, std::size_t)>& sink) {
+  const ShardManifest& mf = plan_.manifest;
+  for (int s = 0; s < mf.num_shards(); ++s) {
+    Frame f;
+    bool got = false;
+    try {
+      got = chans_[static_cast<std::size_t>(s)].recv(&f);
+    } catch (const TransportError&) {
+      got = false;
+    }
+    if (!got || f.type != FrameType::kFinal ||
+        f.payload.size() != mf.shard_size(s) * state_size_)
+      die_worker(s, -1, "died before delivering final state");
+    sink(s, f.payload.data(), f.payload.size());
+  }
+}
+
+}  // namespace deltacolor

@@ -1,0 +1,99 @@
+// ShardStage: the process-level machinery under one sharded engine stage.
+//
+// Execution model: fork-per-stage. The coordinator (the process running the
+// pipeline) reaches a shardable SyncRunner stage and forks one worker per
+// shard *inside* run — the workers inherit the graph (mmap'd .dcsr pages
+// stay shared; in-memory CSR is copy-on-write and read-only), the state
+// vectors, and the step/done closures, which is what makes arbitrary C++
+// step functors sharded-executable without any serialization of code.
+// Workers step only their owned contiguous node range, serially; the
+// coordinator never steps, it drives barriers and routes boundary state.
+//
+// Barrier protocol (bit-identical to the in-process loop
+// `while (rounds < max && !done(cur)) { step; swap; ++rounds; }`):
+//
+//   worker, once after fork:    BARRIER{done(initial own range), no records}
+//   coordinator, per barrier:   all workers done, or rounds == max_rounds?
+//                                 -> HALT to all; rounds = STEPs issued
+//                               else STEP{ghost records for that shard} to
+//                                 all; ++rounds
+//   worker, per STEP:           apply ghost records to cur; step own range
+//                               into nxt; refresh nxt[ghost] = cur[ghost]
+//                               (so the shadow buffer's ghost slots survive
+//                               the swap); swap; BARRIER{done(own range),
+//                               changed boundary records ascending}
+//   worker, on HALT:            FINAL{raw own-range state bytes}; _Exit(0)
+//   worker, on exception:       ERROR{what()}; _Exit(1)
+//
+// The done bits accompanying round-r state make the coordinator's halt
+// decision exactly the oracle's done-before-each-round check, so round
+// counts match; routing only *changed* boundary records is sound because
+// every ghost copy starts identical (same initial vector) and every change
+// is delivered at the barrier it happened.
+//
+// Failure: a worker that dies (crash, SIGKILL, injected process-kill)
+// closes its socket; the coordinator sees EOF or EPIPE at the next barrier
+// and throws CellError(kWorkerDeath) with the round coordinate — the sweep
+// driver's retry/quarantine taxonomy handles it like any other structured
+// cell failure. The ShardStage destructor SIGKILLs and reaps any remaining
+// workers, so a failed stage never leaks processes or hangs.
+//
+// This class is deliberately type-agnostic: records are (u32 node,
+// state_size raw bytes), so the coordinator logic lives in one .cpp and
+// SyncRunner's templated worker body (sync_runner.hpp) is the only code
+// instantiated per State type.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "local/backend.hpp"
+#include "local/transport.hpp"
+
+namespace deltacolor {
+
+class ShardStage {
+ public:
+  /// `plan` must outlive the stage; `state_size` = sizeof(State).
+  ShardStage(const ShardPlan& plan, std::size_t state_size);
+  ~ShardStage();
+  ShardStage(const ShardStage&) = delete;
+  ShardStage& operator=(const ShardStage&) = delete;
+
+  /// Forks one worker per shard. `worker_main(shard, channel)` runs in the
+  /// child and must never return (it exits via _Exit). Throws on fork
+  /// failure (already-forked workers are cleaned up by the destructor).
+  void spawn(const std::function<void(int, FrameChannel&)>& worker_main);
+
+  struct Result {
+    int rounds = 0;
+    ShardStageStats stats;
+  };
+
+  /// Drives the barrier protocol to completion and returns the round count
+  /// plus exchange accounting. Throws CellError (kWorkerDeath for a dead
+  /// worker, kEngineException for a worker-reported exception or protocol
+  /// violation).
+  Result drive(int max_rounds);
+
+  /// Collects the FINAL frames, invoking sink(shard, data, bytes) in shard
+  /// order; bytes is exactly shard_size * state_size. Call once, after
+  /// drive().
+  void collect(
+      const std::function<void(int, const std::uint8_t*, std::size_t)>& sink);
+
+ private:
+  [[noreturn]] void die_worker(int shard, int round, const char* what);
+
+  const ShardPlan& plan_;
+  const std::size_t state_size_;
+  const std::size_t record_size_;  // 4-byte node id + state bytes
+  std::vector<FrameChannel> chans_;
+  std::vector<pid_t> pids_;
+};
+
+}  // namespace deltacolor

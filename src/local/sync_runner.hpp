@@ -34,8 +34,10 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -43,7 +45,10 @@
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/graph.hpp"
+#include "local/backend.hpp"
 #include "local/faults.hpp"
+#include "local/shard_runner.hpp"
+#include "local/transport.hpp"
 
 namespace deltacolor {
 
@@ -59,6 +64,11 @@ struct EngineOptions {
   /// are identical to full sweeps (see header comment for the soundness
   /// argument).
   bool frontier = false;
+  /// Stage placement (backend.hpp). Non-owning; nullptr = in-process. Only
+  /// run_until / run_rounds stages on prepared host graphs with
+  /// trivially-copyable equality-comparable State can shard; everything
+  /// else silently runs in-process, so results never depend on this field.
+  ExecutionBackend* backend = nullptr;
 };
 
 /// `GraphT` is any type modeling the GraphView concept (graph_view.hpp):
@@ -161,6 +171,44 @@ class SyncRunner {
     return run_full(max_rounds, step, done);
   }
 
+  /// Runs until every node satisfies `done_node(v, state_v)` — a halting
+  /// predicate that decomposes as a conjunction over nodes, which is what
+  /// every engine algorithm in the library actually checks — or until
+  /// `max_rounds`. Semantically identical to run() with the equivalent
+  /// vector predicate; the decomposed form is what lets a sharded backend
+  /// evaluate halting with one AND-bit per shard instead of gathering full
+  /// state every round. DoneNodeFn: bool(NodeId, const State&).
+  template <typename StepFn, typename DoneNodeFn>
+  int run_until(int max_rounds, StepFn&& step, DoneNodeFn&& done_node) {
+    if constexpr (kShardable) {
+      if (const ShardPlan* plan = shard_plan())
+        return run_sharded(*plan, max_rounds, step, done_node);
+    } else {
+      note_unshardable();
+    }
+    return run(max_rounds, step, [&](const std::vector<State>& states) {
+      for (std::size_t v = 0; v < states.size(); ++v)
+        if (!done_node(static_cast<NodeId>(v), states[v])) return false;
+      return true;
+    });
+  }
+
+  /// Runs exactly `max_rounds` rounds (schedule-driven stages: class
+  /// sweeps, KW offset schedules, bit peeling). Equivalent to run() with a
+  /// constant-false predicate, and shardable like run_until.
+  template <typename StepFn>
+  int run_rounds(int max_rounds, StepFn&& step) {
+    if constexpr (kShardable) {
+      const auto never_node = [](NodeId, const State&) { return false; };
+      if (const ShardPlan* plan = shard_plan())
+        return run_sharded(*plan, max_rounds, step, never_node);
+    } else {
+      note_unshardable();
+    }
+    return run(max_rounds, step,
+               [](const std::vector<State>&) { return false; });
+  }
+
   const std::vector<State>& states() const { return cur_; }
   std::vector<State> take_states() { return std::move(cur_); }
 
@@ -177,6 +225,145 @@ class SyncRunner {
   }
 
  private:
+  /// Static gates for the sharded path: a concrete host graph (lazy views
+  /// have no cheap partition/cut scan and per-component work stays local
+  /// anyway), raw-byte-copyable state (records ship state as bytes), and
+  /// equality (changed-boundary detection).
+  static constexpr bool kShardable = std::same_as<GraphT, Graph> &&
+                                     std::is_trivially_copyable_v<State> &&
+                                     std::equality_comparable<State>;
+
+  /// The backend's plan for this runner's graph, or nullptr to stay
+  /// in-process. Only compiled into shardable instantiations.
+  const ShardPlan* shard_plan() {
+    if (options_.backend == nullptr) return nullptr;
+    return options_.backend->plan_for(g_);
+  }
+
+  /// Fallback accounting for instantiations whose State/graph type cannot
+  /// shard (the backend, if any, still learns a stage passed it by).
+  void note_unshardable() {
+    if (options_.backend != nullptr) options_.backend->note_fallback();
+  }
+
+  /// Fork-per-stage sharded execution (see shard_runner.hpp for the
+  /// protocol and why results are bit-identical to run_full). The calling
+  /// process becomes the coordinator; each forked worker inherits g_,
+  /// cur_/nxt_, and the step/done closures copy-on-write and steps only
+  /// its own contiguous node range, serially. Frontier mode is ignored
+  /// here — sharded stages are full sweeps — which is sound because
+  /// frontier runs are bit-identical to full sweeps by contract.
+  template <typename StepFn, typename DoneNodeFn>
+  int run_sharded(const ShardPlan& plan, int max_rounds, StepFn& step,
+                  DoneNodeFn& done_node) {
+    DC_CHECK(plan.graph == &g_);
+    ShardStage stage(plan, sizeof(State));
+    stage.spawn([&](int shard, FrameChannel& ch) {
+      shard_worker_main(plan.manifest, shard, ch, step, done_node);
+    });
+    const typename ShardStage::Result res = stage.drive(max_rounds);
+    stage.collect([&](int s, const std::uint8_t* data, std::size_t bytes) {
+      std::memcpy(cur_.data() + plan.manifest.bounds[static_cast<
+                      std::size_t>(s)],
+                  data, bytes);
+    });
+    options_.backend->note_stage(plan, res.stats);
+    return res.rounds;
+  }
+
+  /// Worker-process body: the round loop of run_full restricted to the
+  /// owned range [lo, hi), with ghost slots of cur_ refreshed from STEP
+  /// records at each barrier and re-pinned into nxt_ before the swap (a
+  /// ghost's shadow slot would otherwise be two rounds stale). Exits the
+  /// process; never returns.
+  template <typename StepFn, typename DoneNodeFn>
+  [[noreturn]] void shard_worker_main(const ShardManifest& mf, int shard,
+                                      FrameChannel& ch, StepFn& step,
+                                      DoneNodeFn& done_node) {
+    try {
+      const std::size_t lo = mf.bounds[static_cast<std::size_t>(shard)];
+      const std::size_t hi = mf.bounds[static_cast<std::size_t>(shard) + 1];
+      const auto& boundary = mf.boundary[static_cast<std::size_t>(shard)];
+      const auto& ghosts = mf.ghosts[static_cast<std::size_t>(shard)];
+      std::vector<std::uint8_t> payload;
+      const auto own_done = [&]() -> std::uint8_t {
+        for (std::size_t i = lo; i < hi; ++i)
+          if (!done_node(static_cast<NodeId>(i), cur_[i])) return 0;
+        return 1;
+      };
+      const auto send_barrier = [&](bool with_records) {
+        payload.assign(1, own_done());
+        payload.resize(5, 0);
+        std::uint32_t count = 0;
+        if (with_records) {
+          // nxt_ holds the pre-swap (previous round) states; changed
+          // boundary nodes are published ascending, matching the
+          // coordinator's merge walk.
+          for (const NodeId b : boundary) {
+            if (cur_[b] == nxt_[b]) continue;
+            payload.insert(payload.end(),
+                           reinterpret_cast<const std::uint8_t*>(&b),
+                           reinterpret_cast<const std::uint8_t*>(&b) + 4);
+            const auto* bytes =
+                reinterpret_cast<const std::uint8_t*>(&cur_[b]);
+            payload.insert(payload.end(), bytes, bytes + sizeof(State));
+            ++count;
+          }
+        }
+        std::memcpy(payload.data() + 1, &count, 4);
+        ch.send(FrameType::kBarrier, payload);
+      };
+      send_barrier(/*with_records=*/false);
+      int r = 0;
+      Frame f;
+      for (;;) {
+        if (!ch.recv(&f)) std::_Exit(1);  // coordinator vanished
+        if (f.type == FrameType::kHalt) {
+          ch.send(FrameType::kFinal,
+                  reinterpret_cast<const std::uint8_t*>(cur_.data() + lo),
+                  (hi - lo) * sizeof(State));
+          std::_Exit(0);
+        }
+        DC_CHECK(f.type == FrameType::kStep);
+        constexpr std::size_t kRecord = 4 + sizeof(State);
+        std::uint32_t count = 0;
+        DC_CHECK(f.payload.size() >= 4);
+        std::memcpy(&count, f.payload.data(), 4);
+        DC_CHECK(f.payload.size() == 4 + count * kRecord);
+        const std::uint8_t* rec = f.payload.data() + 4;
+        for (std::uint32_t i = 0; i < count; ++i, rec += kRecord) {
+          NodeId node = 0;
+          std::memcpy(&node, rec, 4);
+          std::memcpy(&cur_[node], rec + 4, sizeof(State));
+        }
+        if (FaultInjector::armed()) {
+          FaultInjector::global().on_engine_round(r);
+          FaultInjector::global().on_shard_round(shard, r);
+        }
+        ScratchArena::local().reset();
+        for (std::size_t i = lo; i < hi; ++i)
+          nxt_[i] = step(View(g_, static_cast<NodeId>(i), cur_, r));
+        for (const NodeId gnode : ghosts) nxt_[gnode] = cur_[gnode];
+        cur_.swap(nxt_);
+        ++r;
+        send_barrier(/*with_records=*/true);
+      }
+    } catch (const std::exception& e) {
+      try {
+        ch.send(FrameType::kError, e.what(), std::strlen(e.what()));
+      } catch (...) {
+      }
+      std::_Exit(1);
+    } catch (...) {
+      try {
+        const char kWhat[] = "unknown exception in shard worker";
+        ch.send(FrameType::kError, kWhat, sizeof(kWhat) - 1);
+      } catch (...) {
+      }
+      std::_Exit(1);
+    }
+  }
+
   template <typename StepFn, typename DoneFn>
   int run_full(int max_rounds, StepFn& step, DoneFn& done) {
     const NodeId n = g_.num_nodes();
@@ -361,34 +548,13 @@ class SyncRunner {
   /// gets nodes [bounds[w], bounds[w+1]) whose (deg+1)-weight sums to
   /// ~1/workers of the total. Boundaries round up to 64-node groups so a
   /// cache line of the (typically word-sized) state arrays never straddles
-  /// two workers. Host graphs only (lazy views may have expensive
-  /// degree()); computed once per runner, O(n).
+  /// two workers. The weighting is the shared partitioner's
+  /// (graph/partition.hpp) — the same split logic shard manifests use,
+  /// with alignment 1 there. Host graphs only (lazy views may have
+  /// expensive degree()); computed once per runner, O(n).
   void compute_chunk_bounds() {
-    const std::size_t n = g_.num_nodes();
-    const int workers = pool_->num_workers();
-    chunk_bounds_.assign(static_cast<std::size_t>(workers) + 1, n);
-    chunk_bounds_[0] = 0;
-    const std::uint64_t total =
-        2ull * g_.num_edges() + n;  // sum of deg(v) + 1
-    std::uint64_t seen = 0;
-    std::size_t v = 0;
-    for (int w = 1; w < workers; ++w) {
-      const std::uint64_t target =
-          total * static_cast<std::uint64_t>(w) /
-          static_cast<std::uint64_t>(workers);
-      while (v < n && seen < target) {
-        seen += static_cast<std::uint64_t>(g_.degree(
-                    static_cast<NodeId>(v))) + 1;
-        ++v;
-      }
-      const std::size_t aligned = std::min(n, (v + 63) & ~std::size_t{63});
-      while (v < aligned) {
-        seen += static_cast<std::uint64_t>(g_.degree(
-                    static_cast<NodeId>(v))) + 1;
-        ++v;
-      }
-      chunk_bounds_[static_cast<std::size_t>(w)] = v;
-    }
+    chunk_bounds_ =
+        degree_balanced_bounds(g_, pool_->num_workers(), /*align=*/64);
   }
 
   const GraphT& g_;

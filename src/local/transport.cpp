@@ -1,0 +1,151 @@
+#include "local/transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace deltacolor {
+
+namespace {
+
+// Frames are engine state for one round of one shard's boundary; anything
+// approaching this bound indicates a corrupted length prefix, not a real
+// payload.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+std::string errno_text(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+}  // namespace
+
+FrameChannel::FrameChannel(int fd) : fd_(fd) {
+  if (fd_ >= 0) FdRegistry::global().add(fd_);
+}
+
+FrameChannel::FrameChannel(FrameChannel&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FrameChannel::~FrameChannel() { close(); }
+
+void FrameChannel::close() {
+  if (fd_ < 0) return;
+  FdRegistry::global().remove(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::pair<FrameChannel, FrameChannel> FrameChannel::open_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw TransportError(errno_text("socketpair"));
+  return {FrameChannel(fds[0]), FrameChannel(fds[1])};
+}
+
+void FrameChannel::send(FrameType type, const void* payload,
+                        std::size_t len) {
+  if (fd_ < 0) throw TransportError("send on a closed channel");
+  if (len + 1 > kMaxFrameBytes) throw TransportError("frame too large");
+  const std::uint32_t framed = static_cast<std::uint32_t>(len) + 1;
+  std::uint8_t header[5];
+  std::memcpy(header, &framed, 4);
+  header[4] = static_cast<std::uint8_t>(type);
+  const std::uint8_t* parts[2] = {header,
+                                  static_cast<const std::uint8_t*>(payload)};
+  const std::size_t sizes[2] = {sizeof(header), len};
+  for (int p = 0; p < 2; ++p) {
+    const std::uint8_t* data = parts[p];
+    std::size_t left = sizes[p];
+    while (left > 0) {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE here instead of killing the
+      // coordinator with SIGPIPE.
+      const ssize_t wrote = ::send(fd_, data, left, MSG_NOSIGNAL);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(errno_text("send"));
+      }
+      data += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+  }
+}
+
+bool FrameChannel::recv(Frame* out) {
+  if (fd_ < 0) throw TransportError("recv on a closed channel");
+  const auto read_exact = [&](std::uint8_t* data, std::size_t len,
+                              bool eof_ok) -> bool {
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::read(fd_, data + got, len - got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(errno_text("read"));
+      }
+      if (n == 0) {
+        if (eof_ok && got == 0) return false;  // clean close at a boundary
+        throw TransportError("peer closed mid-frame");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  std::uint32_t framed = 0;
+  if (!read_exact(reinterpret_cast<std::uint8_t*>(&framed), 4,
+                  /*eof_ok=*/true))
+    return false;
+  if (framed == 0 || framed > kMaxFrameBytes)
+    throw TransportError("malformed frame length");
+  std::uint8_t type = 0;
+  read_exact(&type, 1, /*eof_ok=*/false);
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(framed - 1);
+  read_exact(out->payload.data(), out->payload.size(), /*eof_ok=*/false);
+  return true;
+}
+
+FdRegistry& FdRegistry::global() {
+  static FdRegistry* registry = new FdRegistry();  // never destroyed
+  return *registry;
+}
+
+void FdRegistry::add(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.push_back(fd);
+}
+
+void FdRegistry::remove(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+}
+
+pid_t FdRegistry::fork_with_only(const int* keep, std::size_t keep_count) {
+  // The lock spans the fork so no other thread can register a new channel
+  // fd between the snapshot the child sees and the fork itself.
+  std::lock_guard<std::mutex> lock(mu_);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    for (const int fd : fds_) {
+      bool kept = false;
+      for (std::size_t i = 0; i < keep_count; ++i) kept |= keep[i] == fd;
+      if (!kept) ::close(fd);
+    }
+    // The child's view of the registry only matters for nested forks,
+    // which never happen (workers are leaf processes).
+  }
+  return pid;
+}
+
+}  // namespace deltacolor

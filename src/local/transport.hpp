@@ -1,0 +1,113 @@
+// Length-prefixed frame transport between the shard coordinator and its
+// worker processes.
+//
+// Each coordinator<->worker link is one AF_UNIX stream socket pair carrying
+// frames of [u32 length][u8 type][payload], little-endian, where length
+// counts the type byte plus the payload. Stream sockets (not pipes) give
+// both directions on one descriptor and let the coordinator write with
+// MSG_NOSIGNAL, so a worker that died mid-stage surfaces as a structured
+// send/recv error instead of a SIGPIPE. All I/O is blocking with EINTR and
+// partial-transfer retry; an orderly peer close is reported distinctly
+// (recv returns false) because for a worker channel EOF *is* the
+// worker-death signal.
+//
+// FdRegistry guards the one hazard of forking workers from a process that
+// may be running several sharded stages concurrently (parallel sweep
+// cells): a child forked for stage A must not inherit stage B's socket —
+// the stray descriptor would keep B's channel open past its worker's
+// death and stall B's EOF-based failure detection. Every channel registers
+// its fd; fork_with_only() forks under the registry lock and closes, in
+// the child, every registered fd except the child's own.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deltacolor {
+
+/// Frame vocabulary of the halo-exchange barrier protocol (see
+/// shard_runner.hpp for the sequencing contract).
+enum class FrameType : std::uint8_t {
+  kBarrier = 1,  ///< worker -> coord: done bit + changed boundary records
+  kStep = 2,     ///< coord -> worker: ghost records; step one round
+  kHalt = 3,     ///< coord -> worker: stop; send kFinal and exit
+  kFinal = 4,    ///< worker -> coord: full owned-range state bytes
+  kError = 5,    ///< worker -> coord: exception text; worker exits nonzero
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Transport-layer failure (syscall error, malformed frame, peer vanished
+/// mid-frame). The shard runner converts these into structured CellErrors.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One end of a frame link. Move-only; owns (and registers) its fd.
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  /// Takes ownership of `fd` and registers it with FdRegistry::global().
+  explicit FrameChannel(int fd);
+  FrameChannel(FrameChannel&& other) noexcept;
+  FrameChannel& operator=(FrameChannel&& other) noexcept;
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+  ~FrameChannel();
+
+  /// A connected socket pair: {coordinator end, worker end}.
+  static std::pair<FrameChannel, FrameChannel> open_pair();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes one frame. Throws TransportError on any failure, including a
+  /// peer that closed (EPIPE is reported, never raised as a signal).
+  void send(FrameType type, const void* payload, std::size_t len);
+  void send(FrameType type, const std::vector<std::uint8_t>& payload) {
+    send(type, payload.data(), payload.size());
+  }
+
+  /// Reads one frame. Returns false on orderly EOF at a frame boundary
+  /// (peer closed / died); throws TransportError on errors or a torn frame.
+  bool recv(Frame* out);
+
+  /// Closes and deregisters the fd (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Process-global table of live transport fds; see the header comment for
+/// why forks must serialize against it.
+class FdRegistry {
+ public:
+  static FdRegistry& global();
+
+  void add(int fd);
+  void remove(int fd);
+
+  /// fork() while holding the registry lock; in the child, closes every
+  /// registered fd except those in keep[0..keep_count). Returns the fork()
+  /// result (pid in the parent, 0 in the child, -1 on failure).
+  pid_t fork_with_only(const int* keep, std::size_t keep_count);
+
+ private:
+  std::mutex mu_;
+  std::vector<int> fds_;
+};
+
+}  // namespace deltacolor

@@ -93,9 +93,8 @@ LinialResult kw_reduce(const ViewT& view, std::vector<Color> color,
       failed.store(true, std::memory_order_relaxed);
       return c;
     };
-    const auto never = [](const std::vector<Color>&) { return false; };
     const int stage_rounds = hi - target;
-    runner.run(stage_rounds, step, never);
+    runner.run_rounds(stage_rounds, step);
     DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
                  "KW: no free color during elimination");
     res.rounds += stage_rounds;

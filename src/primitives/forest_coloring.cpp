@@ -73,10 +73,8 @@ ForestColoringResult forest_3_coloring(const std::vector<NodeId>& parent,
     const int i = lowest_differing_bit(mine, other);
     return 2 * static_cast<std::uint64_t>(i) + ((mine >> i) & 1);
   };
-  const auto cv_done = [](const std::vector<std::uint64_t>& states) {
-    return *std::max_element(states.begin(), states.end()) < 6;
-  };
-  res.rounds = cv.run(80, cv_step, cv_done);
+  const auto cv_done = [](NodeId, const std::uint64_t& s) { return s < 6; };
+  res.rounds = cv.run_until(80, cv_step, cv_done);
   DC_CHECK_MSG(res.rounds < 80, "Cole-Vishkin failed to converge");
 
   // Eliminate colors 5, 4, 3, two engine rounds each: round 2j shifts down
@@ -115,8 +113,7 @@ ForestColoringResult forest_3_coloring(const std::vector<NodeId>& parent,
     }
     return s;
   };
-  const auto never = [](const std::vector<ShiftState>&) { return false; };
-  elim.run(6, elim_step, never);
+  elim.run_rounds(6, elim_step);
   res.rounds += 6;
 
   const auto& states = elim.states();

@@ -131,13 +131,11 @@ LinialResult linial_reduce(const ViewT& view,
     failed.store(true, std::memory_order_relaxed);
     return v.self();
   };
-  const auto never = [](const std::vector<std::uint64_t>&) { return false; };
-
   for (;;) {
     const auto [q, d] = detail::linial_choose_field(max_degree, max_val);
     if (q * q > max_val) break;  // fixed point: no further progress
     stage = Stage{q, d};
-    runner.run(1, step, never);
+    runner.run_rounds(1, step);
     DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
                  "Linial: no collision-free point (q=" << q << ")");
     max_val = q * q - 1;

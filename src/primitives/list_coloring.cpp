@@ -116,8 +116,7 @@ int deg_plus_one_list_color(const Graph& g, const NodeMask& active,
     failed.store(true, std::memory_order_relaxed);
     return v.self();
   };
-  const auto never = [](const std::vector<Color>&) { return false; };
-  runner.run(lin.num_colors, step, never);
+  runner.run_rounds(lin.num_colors, step);
   DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
                "class-greedy ran out of colors");
   color = runner.take_states();
@@ -203,16 +202,17 @@ int deg_plus_one_list_color_randomized(const Graph& g, const NodeMask& active,
     s.trial = kNoColor;
     return s;
   };
-  const auto done = [&](const std::vector<TrialState>& states) {
-    for (NodeId v = 0; v < g.num_nodes(); ++v)
-      if (active[v] && states[v].color == kNoColor) return false;
-    return true;
+  const auto done_node = [&](NodeId v, const TrialState& s) {
+    return !active[v] || s.color != kNoColor;
   };
-  const int engine_rounds = runner.run(2 * max_iterations, step, done);
+  const int engine_rounds =
+      runner.run_until(2 * max_iterations, step, done_node);
   DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
                "randomized deg+1: empty effective list");
-  DC_CHECK_MSG(done(runner.states()),
-               "randomized deg+1 did not converge");
+  bool converged = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    converged &= done_node(v, runner.states()[v]);
+  DC_CHECK_MSG(converged, "randomized deg+1 did not converge");
   const int iterations = (engine_rounds + 1) / 2;
 
   const auto& states = runner.states();

@@ -55,8 +55,7 @@ std::vector<bool> maximal_matching_deterministic(const Graph& g,
     });
     return blocked ? 0 : 1;
   };
-  const auto never = [](const std::vector<std::uint8_t>&) { return false; };
-  runner.run(ec.num_colors, step, never);
+  runner.run_rounds(ec.num_colors, step);
   const auto& states = runner.states();
   for (EdgeId e = 0; e < g.num_edges(); ++e) in_matching[e] = states[e] != 0;
 
@@ -171,8 +170,7 @@ std::vector<bool> maximal_matching_pr(const Graph& g, LocalContext& ctx) {
       }
     }
   };
-  const auto never = [](const std::vector<PrState>&) { return false; };
-  runner.run(3 * 3 * delta, step, never);
+  runner.run_rounds(3 * 3 * delta, step);
   const auto& states = runner.states();
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     if (states[v].matched_edge != kNoEdge)

@@ -1,5 +1,6 @@
 #include "primitives/mis.hpp"
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/check.hpp"
@@ -28,8 +29,7 @@ std::vector<bool> mis_deterministic(const Graph& g, LocalContext& ctx) {
     });
     return blocked ? 0 : 1;
   };
-  const auto never = [](const std::vector<std::uint8_t>&) { return false; };
-  runner.run(lin.num_colors, step, never);
+  runner.run_rounds(lin.num_colors, step);
   const auto& states = runner.states();
   std::vector<bool> in_set(g.num_nodes(), false);
   for (NodeId v = 0; v < g.num_nodes(); ++v) in_set[v] = states[v] != 0;
@@ -103,13 +103,17 @@ std::vector<bool> mis_luby(const Graph& g, LocalContext& ctx) {
       }
     }
   };
-  const auto done = [](const std::vector<LubyState>& states) {
-    for (const LubyState& s : states)
-      if (s.status != kLubyIn && s.status != kLubyOut) return false;
-    return true;
+  const auto done_node = [](NodeId, const LubyState& s) {
+    return s.status == kLubyIn || s.status == kLubyOut;
   };
-  const int engine_rounds = runner.run(3 * max_iterations, step, done);
-  DC_CHECK_MSG(done(runner.states()), "Luby MIS did not converge");
+  const int engine_rounds =
+      runner.run_until(3 * max_iterations, step, done_node);
+  DC_CHECK_MSG(std::all_of(runner.states().begin(), runner.states().end(),
+                           [](const LubyState& s) {
+                             return s.status == kLubyIn ||
+                                    s.status == kLubyOut;
+                           }),
+               "Luby MIS did not converge");
   const int iterations = (engine_rounds + 2) / 3;
 
   const auto& states = runner.states();

@@ -65,8 +65,7 @@ RulingSetResult ruling_set(const ViewT& view, LocalContext& ctx) {
     });
     return survives;
   };
-  const auto never = [](const std::vector<std::uint8_t>&) { return false; };
-  runner.run(bits, step, never);
+  runner.run_rounds(bits, step);
   // Survivors are independent: adjacent survivors would agree on every bit,
   // i.e. share a Linial color — impossible for a proper coloring.
   const auto& states = runner.states();

@@ -1,11 +1,17 @@
-// Unit tests for the common utilities: statistics/fitting, the PRNG, and
-// the round ledger.
+// Unit tests for the common utilities: statistics/fitting, the PRNG, the
+// thread pool's caller-bounded dispatch, and the round ledger.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "local/ledger.hpp"
 
 namespace deltacolor {
@@ -144,6 +150,46 @@ TEST(Ledger, PhaseOrderIsFirstChargeOrder) {
   ASSERT_EQ(l.phases().size(), 2u);
   EXPECT_EQ(l.phases()[0].first, "z");
   EXPECT_EQ(l.phases()[1].first, "a");
+}
+
+// --- ThreadPool::for_chunks edge cases -------------------------------------
+
+TEST(ThreadPoolChunks, EmptyBoundsRunNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  // front == back: the span is empty and fn must never run, even though
+  // the bounds vector itself is well-formed.
+  pool.for_chunks({7, 7, 7, 7, 7},
+                  [&](int, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolChunks, OneOversizedChunkCarriesAllTheWork) {
+  ThreadPool pool(4);
+  // Worker 2 owns the whole span; the other chunks are empty. Every index
+  // must still be covered exactly once, by that worker.
+  std::mutex mu;
+  std::vector<std::pair<int, std::pair<std::size_t, std::size_t>>> ran;
+  pool.for_chunks({0, 0, 0, 100, 100},
+                  [&](int worker, std::size_t lo, std::size_t hi) {
+                    if (lo == hi) return;
+                    std::lock_guard<std::mutex> lock(mu);
+                    ran.push_back({worker, {lo, hi}});
+                  });
+  ASSERT_EQ(ran.size(), 1u);
+  EXPECT_EQ(ran[0].first, 2);
+  EXPECT_EQ(ran[0].second.first, 0u);
+  EXPECT_EQ(ran[0].second.second, 100u);
+}
+
+TEST(ThreadPoolChunks, BoundsShorterThanWorkersThrow) {
+  ThreadPool pool(4);
+  const auto noop = [](int, std::size_t, std::size_t) {};
+  // for_chunks requires num_workers() + 1 bounds; fewer (including none)
+  // is a caller bug surfaced as the DC_CHECK logic_error.
+  EXPECT_THROW(pool.for_chunks({}, noop), std::logic_error);
+  EXPECT_THROW(pool.for_chunks({0, 10}, noop), std::logic_error);
+  EXPECT_THROW(pool.for_chunks({0, 5, 10, 15}, noop), std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Unit tests for the degree-balanced vertex partitioner and the shard
+// manifest that the multi-process execution backend runs on: contiguity
+// and coverage of the bounds, boundary/ghost/subscriber consistency
+// against the graph's actual cut edges, and ownership lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "bench_support/workloads.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace deltacolor {
+namespace {
+
+Graph path_graph(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph(n, std::move(edges));
+}
+
+TEST(DegreeBalancedBounds, CoversRangeContiguously) {
+  const Graph g = random_regular(1000, 8, 3);
+  for (int parts : {1, 2, 3, 7, 16}) {
+    const auto bounds = degree_balanced_bounds(g, parts);
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), g.num_nodes());
+    for (int p = 0; p < parts; ++p) EXPECT_LE(bounds[p], bounds[p + 1]);
+  }
+}
+
+TEST(DegreeBalancedBounds, BalancesByDegreeWeight) {
+  // A star center carries almost all the weight; with 2 parts the split
+  // must isolate it rather than halving the index range.
+  const NodeId n = 1001;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v});
+  const Graph g = Graph(n, std::move(edges));
+  const auto bounds = degree_balanced_bounds(g, 2);
+  // Center weight = deg + 1 = n, leaves weight 2; total ~ 3n. The first
+  // part hits its half-total target after the center plus ~n/4 leaves —
+  // far left of the n/2 midpoint an unweighted split would pick.
+  EXPECT_GT(bounds[1], 0u);
+  EXPECT_LT(bounds[1], n / 3);
+}
+
+TEST(DegreeBalancedBounds, AlignmentRoundsBoundaries) {
+  const Graph g = random_regular(1000, 8, 3);
+  const auto bounds = degree_balanced_bounds(g, 4, /*align=*/64);
+  for (std::size_t p = 1; p + 1 < bounds.size(); ++p)
+    EXPECT_EQ(bounds[p] % 64, 0u) << "part " << p;
+  EXPECT_EQ(bounds.back(), g.num_nodes());
+}
+
+TEST(DegreeBalancedBounds, MorePartsThanNodes) {
+  const Graph g = path_graph(3);
+  const auto bounds = degree_balanced_bounds(g, 8);
+  ASSERT_EQ(bounds.size(), 9u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 3u);
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p)
+    EXPECT_LE(bounds[p], bounds[p + 1]);
+}
+
+TEST(ShardManifest, OwnerMatchesBounds) {
+  const Graph g = random_regular(500, 6, 1);
+  const ShardManifest mf = ShardManifest::build(g, 4);
+  ASSERT_EQ(mf.num_shards(), 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int s = mf.owner(v);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    EXPECT_GE(v, mf.bounds[s]);
+    EXPECT_LT(v, mf.bounds[s + 1]);
+  }
+}
+
+TEST(ShardManifest, BoundaryAndGhostsMatchCutEdges) {
+  const Graph g = bench::hard_instance(16, 10, 5).graph;
+  for (int shards : {1, 2, 4}) {
+    const ShardManifest mf = ShardManifest::build(g, shards);
+    std::uint64_t incident = 0;
+    for (int s = 0; s < shards; ++s) {
+      // Recompute this shard's cut structure from scratch.
+      std::set<NodeId> boundary, ghosts;
+      std::uint64_t cut = 0;
+      for (NodeId v = mf.bounds[s]; v < mf.bounds[s + 1]; ++v) {
+        for (const NodeId u : g.neighbors(v)) {
+          if (u >= mf.bounds[s] && u < mf.bounds[s + 1]) continue;
+          boundary.insert(v);
+          ghosts.insert(u);
+          ++cut;
+        }
+      }
+      EXPECT_EQ(std::vector<NodeId>(boundary.begin(), boundary.end()),
+                mf.boundary[s])
+          << "shard " << s << " of " << shards;
+      EXPECT_EQ(std::vector<NodeId>(ghosts.begin(), ghosts.end()),
+                mf.ghosts[s])
+          << "shard " << s << " of " << shards;
+      EXPECT_EQ(mf.boundary_edges[s], cut);
+      incident += cut;
+      // Subscriber CSR is aligned with the boundary list and names only
+      // other shards.
+      ASSERT_EQ(mf.sub_offsets[s].size(), mf.boundary[s].size() + 1);
+      for (std::size_t i = 0; i < mf.boundary[s].size(); ++i) {
+        ASSERT_LE(mf.sub_offsets[s][i], mf.sub_offsets[s][i + 1]);
+        for (std::uint32_t j = mf.sub_offsets[s][i];
+             j < mf.sub_offsets[s][i + 1]; ++j) {
+          const int t = static_cast<int>(mf.sub_targets[s][j]);
+          EXPECT_NE(t, s);
+          // The subscriber must actually ghost this boundary node.
+          EXPECT_TRUE(std::binary_search(mf.ghosts[t].begin(),
+                                         mf.ghosts[t].end(),
+                                         mf.boundary[s][i]));
+        }
+      }
+    }
+    EXPECT_EQ(mf.cut_edges, incident / 2);
+  }
+}
+
+TEST(ShardManifest, SingleShardHasNoCut) {
+  const Graph g = random_regular(200, 4, 9);
+  const ShardManifest mf = ShardManifest::build(g, 1);
+  EXPECT_EQ(mf.num_shards(), 1);
+  EXPECT_TRUE(mf.boundary[0].empty());
+  EXPECT_TRUE(mf.ghosts[0].empty());
+  EXPECT_EQ(mf.cut_edges, 0u);
+}
+
+TEST(ShardManifest, EverySubscriberEdgeIsDelivered) {
+  // For every shard t and every ghost u it reads, the owner of u must list
+  // t as a subscriber of u — otherwise a halo update would be dropped.
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  const ShardManifest mf = ShardManifest::build(g, 3);
+  for (int t = 0; t < mf.num_shards(); ++t) {
+    for (const NodeId u : mf.ghosts[t]) {
+      const int s = mf.owner(u);
+      const auto it = std::lower_bound(mf.boundary[s].begin(),
+                                       mf.boundary[s].end(), u);
+      ASSERT_TRUE(it != mf.boundary[s].end() && *it == u);
+      const std::size_t i =
+          static_cast<std::size_t>(it - mf.boundary[s].begin());
+      bool subscribed = false;
+      for (std::uint32_t j = mf.sub_offsets[s][i];
+           j < mf.sub_offsets[s][i + 1]; ++j)
+        subscribed |= static_cast<int>(mf.sub_targets[s][j]) == t;
+      EXPECT_TRUE(subscribed) << "ghost " << u << " shard " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deltacolor

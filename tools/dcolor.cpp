@@ -24,6 +24,12 @@
 //                  the DELTACOLOR_THREADS env var; default: all cores)
 //   --frontier     sparse activation: re-step only nodes whose closed
 //                  neighborhood changed last round (engine algorithms)
+//   --backend=M    M in {inproc, proc}: execution backend. proc shards the
+//                  loaded instance across forked worker processes that
+//                  exchange boundary state at round barriers; results are
+//                  bit-identical to inproc. Prints a per-shard SHARDS
+//                  accounting block next to the ledger / SWEEP line
+//   --shards=N     proc backend: number of worker processes (default 2)
 //   --repeat=N     color only: run N seeds (seed, seed+1, ...) of the
 //                  algorithm over the shared instance as concurrent sweep
 //                  cells; print per-seed rounds and aggregate wall-clock
@@ -92,7 +98,10 @@ int usage() {
          "(LOCAL id source; auto = file ids for .dcsr, shuffled for text), "
          "--list (registered algorithms), --threads=N (engine "
          "workers, 0 = auto; env DELTACOLOR_THREADS), --frontier (sparse "
-         "activation), --repeat=N (color: N seeds as sweep cells, "
+         "activation), --backend=inproc|proc (proc = multi-process sharded "
+         "execution with halo exchange; bit-identical results), --shards=N "
+         "(proc backend: worker processes, default 2), "
+         "--repeat=N (color: N seeds as sweep cells, "
          "aggregate stats), --validate=off|end|phase (oracle mode: check "
          "the final coloring / every pipeline phase boundary), --retries=N "
          "(repeat: attempts per seed before quarantine), --journal=PATH "
@@ -114,7 +123,9 @@ int list_algorithms() {
 }
 
 EngineOptions g_engine;  // from --threads / --frontier
-int g_repeat = 1;        // from --repeat=N
+bool g_proc_backend = false;  // from --backend=proc
+int g_shards = 2;             // from --shards=N
+int g_repeat = 1;             // from --repeat=N
 ValidateMode g_validate = ValidateMode::kOff;  // from --validate=M
 int g_retries = 1;                             // from --retries=N
 std::string g_journal_path;                    // from --journal=P
@@ -362,6 +373,16 @@ int cmd_color(int argc, char** argv) {
   }
   const Graph& g = shuffle ? reidentified : *shared;
   report_loaded_instance(graph_path, dcsr, g, shuffle ? "shuffled" : "file");
+  // --backend=proc: shard the loaded instance once; every run (and every
+  // --repeat cell) stages its shardable sweeps through forked workers.
+  // Stages the backend cannot shard (nested subgraphs, non-POD states)
+  // fall back in-process and are counted in the SHARDS report.
+  std::unique_ptr<ProcShardedBackend> proc_backend;
+  if (g_proc_backend) {
+    proc_backend = std::make_unique<ProcShardedBackend>(g_shards);
+    proc_backend->prepare(g);
+    g_engine.backend = proc_backend.get();
+  }
   AlgorithmRequest req;
   req.seed =
       argc > base + 1 ? std::strtoull(argv[base + 1], nullptr, 10) : 1;
@@ -448,11 +469,13 @@ int cmd_color(int argc, char** argv) {
       std::cout << "rounds:  " << format_summary(summarize(rounds)) << "\n"
                 << "wall_ms: " << format_summary(summarize(wall)) << "\n";
     std::cout << driver.report() << "\n";
+    if (proc_backend != nullptr) std::cout << proc_backend->report() << "\n";
     return all_ok ? 0 : kExitFailure;
   }
 
   const AlgorithmResult res = entry->run(g, req);
   std::cout << res.summary << "\n" << res.ledger.report();
+  if (proc_backend != nullptr) std::cout << proc_backend->report() << "\n";
   if (!res.ok) {
     std::cerr << "RESULT INVALID\n";
     return kExitFailure;
@@ -510,6 +533,23 @@ int main(int argc, char** argv) {
       if (n > 0) ThreadPool::set_default_workers(n);
     } else if (arg == "--frontier") {
       g_engine.frontier = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string mode = arg.substr(10);
+      if (mode == "proc") {
+        g_proc_backend = true;
+      } else if (mode == "inproc") {
+        g_proc_backend = false;
+      } else {
+        std::cerr << "dcolor: invalid " << arg
+                  << " (backends: inproc, proc)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      g_shards = std::atoi(arg.c_str() + 9);
+      if (g_shards < 1) {
+        std::cerr << "dcolor: invalid " << arg << " (need at least 1)\n";
+        return kExitUsage;
+      }
     } else if (arg.rfind("--repeat=", 0) == 0) {
       g_repeat = std::atoi(arg.c_str() + 9);
       if (g_repeat < 1) {
@@ -584,7 +624,12 @@ int main(int argc, char** argv) {
             << (g_engine.num_threads == 0 ? std::string("auto")
                                           : std::to_string(
                                                 g_engine.num_threads))
-            << "), frontier=" << (g_engine.frontier ? "on" : "off") << "\n";
+            << "), frontier=" << (g_engine.frontier ? "on" : "off")
+            << ", backend="
+            << (g_proc_backend
+                    ? "proc(shards=" + std::to_string(g_shards) + ")"
+                    : std::string("inproc"))
+            << "\n";
   const std::string cmd = argv[1];
   try {
     if (cmd == "gen") return cmd_gen(argc, argv);
