@@ -1,0 +1,170 @@
+// bench_shard — stage-dispatch microbenchmark for the persistent shard
+// worker pool (local/shard_runner.hpp).
+//
+// A pipeline of many short stages is the worst case for fork-per-stage
+// execution: the fork + exec-free warmup dominates the microseconds of
+// actual stepping. The persistent pool forks once per prepared graph and
+// dispatches every subsequent stage to the live workers over the control
+// socketpairs, with all node state and halo records moving through the
+// shared-memory plane. This bench drives the same N-stage pipeline through
+//   (a) the in-process oracle (backend = nullptr),
+//   (b) ProcShardedBackend(shards, persistent=false)  — fork per stage,
+//   (c) ProcShardedBackend(shards, persistent=true)   — fork once,
+// asserts the final states of all three are bit-identical, and reports
+// per-stage wall clock, total forks, stage reuse, and halo bytes per round
+// as BENCH_JSON records.
+//
+// Usage: bench_shard [--quick]   (--quick cuts stages/instance size ~4x)
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "deltacolor.hpp"
+
+namespace {
+
+using namespace deltacolor;
+using namespace deltacolor::bench;
+
+// One stage = one engine round of neighborhood-max gossip with a
+// round-salted perturbation: every node changes every round, so each round
+// publishes the full changed-boundary record set — dispatch latency and
+// halo routing are both on the measured path.
+struct StageDriver {
+  const Graph& g;
+  SyncRunner<std::uint64_t> runner;
+
+  StageDriver(const Graph& graph, const EngineOptions& opts)
+      : g(graph), runner(graph, initial(graph), opts) {}
+
+  static std::vector<std::uint64_t> initial(const Graph& graph) {
+    std::vector<std::uint64_t> init(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) init[v] = graph.id(v);
+    return init;
+  }
+
+  void run_one_stage() {
+    const auto step = shard_safe([](const auto& v) -> std::uint64_t {
+      std::uint64_t m = v.self();
+      v.for_each_neighbor(
+          [&](NodeId u) { m = std::max(m, v.neighbor(u)); });
+      return m * 6364136223846793005ULL + 1442695040888963407ULL;
+    });
+    runner.run_rounds(1, step);
+  }
+};
+
+struct PipelineResult {
+  double total_ms = 0.0;
+  std::vector<std::uint64_t> states;
+  ProcShardedBackend::Totals totals;
+};
+
+PipelineResult run_pipeline(const Graph& g, int stages, int shards,
+                            int mode /* 0=inproc, 1=fork-per-stage,
+                                        2=persistent */) {
+  std::unique_ptr<ProcShardedBackend> backend;
+  EngineOptions opts;
+  opts.num_threads = 1;
+  if (mode != 0) {
+    backend = std::make_unique<ProcShardedBackend>(shards, mode == 2);
+    backend->prepare(g);
+    opts.backend = backend.get();
+  }
+  StageDriver driver(g, opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < stages; ++s) driver.run_one_stage();
+  PipelineResult res;
+  res.total_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  res.states = driver.runner.states();
+  if (backend != nullptr) res.totals = backend->totals();
+  return res;
+}
+
+int run(bool quick) {
+  banner("SHARD", "persistent pool: forks O(stages) -> O(1), dispatch "
+                  "overhead down vs fork-per-stage");
+  const int stages = quick ? 10 : 40;
+  const NodeId n = quick ? 4000 : 20000;
+  const int degree = 8;
+  const Graph g = random_regular(n, degree, 7);
+  std::cout << "instance: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree() << ", stages=" << stages
+            << " (1 engine round each)\n\n";
+
+  int exit_code = 0;
+  Table t({"shards", "mode", "stages", "forks", "stage_reuse", "wall(ms)",
+           "ms/stage", "halo_B/round", "identical"});
+  for (const int shards : {2, 4}) {
+    const PipelineResult oracle = run_pipeline(g, stages, shards, 0);
+    const PipelineResult forked = run_pipeline(g, stages, shards, 1);
+    const PipelineResult pooled = run_pipeline(g, stages, shards, 2);
+    const bool fork_ok = forked.states == oracle.states;
+    const bool pool_ok = pooled.states == oracle.states;
+    if (!fork_ok || !pool_ok) exit_code = 1;
+
+    const auto halo_per_round = [](const PipelineResult& r) {
+      std::uint64_t bytes = 0;
+      for (const std::uint64_t b : r.totals.boundary_bytes_out) bytes += b;
+      return r.totals.rounds > 0 ? bytes / r.totals.rounds : 0;
+    };
+    t.row(shards, "in-process", stages, 0, 0, oracle.total_ms,
+          oracle.total_ms / stages, 0, "-");
+    t.row(shards, "fork-per-stage", stages,
+          static_cast<std::int64_t>(forked.totals.forks),
+          static_cast<std::int64_t>(forked.totals.stage_reuse),
+          forked.total_ms, forked.total_ms / stages,
+          static_cast<std::int64_t>(halo_per_round(forked)),
+          verdict(fork_ok));
+    t.row(shards, "persistent", stages,
+          static_cast<std::int64_t>(pooled.totals.forks),
+          static_cast<std::int64_t>(pooled.totals.stage_reuse),
+          pooled.total_ms, pooled.total_ms / stages,
+          static_cast<std::int64_t>(halo_per_round(pooled)),
+          verdict(pool_ok));
+
+    for (const auto* r : {&forked, &pooled}) {
+      const bool persistent = r == &pooled;
+      BenchJson("SHARD")
+          .field("workload", "stage-dispatch")
+          .field("shards", shards)
+          .field("stages", stages)
+          .field("persistent", persistent)
+          .field("forks", static_cast<std::int64_t>(r->totals.forks))
+          .field("stage_reuse",
+                 static_cast<std::int64_t>(r->totals.stage_reuse))
+          .field("shm_bytes", static_cast<std::int64_t>(r->totals.shm_bytes))
+          .field("wall_ms", r->total_ms)
+          .field("ms_per_stage", r->total_ms / stages)
+          .field("halo_bytes_per_round",
+                 static_cast<std::int64_t>(halo_per_round(*r)))
+          .field("dispatch_speedup_vs_fork",
+                 persistent ? forked.total_ms /
+                                  std::max(pooled.total_ms, 1e-9)
+                            : 1.0)
+          .field("identical", persistent ? pool_ok : fork_ok)
+          .print();
+    }
+  }
+  t.print();
+  std::cout << "\npersistent rows must show forks == shards and stage_reuse "
+               "== stages; fork-per-stage rows fork shards x stages "
+               "processes. Colorings are asserted bit-identical to the "
+               "in-process oracle.\n";
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") quick = true;
+  return run(quick);
+}

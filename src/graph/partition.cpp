@@ -55,6 +55,24 @@ ShardManifest ShardManifest::build(const Graph& g, int shards) {
     std::sort(ghosts.begin(), ghosts.end());
     ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
   }
+  // Ghost runs: sorted ghosts + contiguous ascending ownership ranges mean
+  // one walk per shard splits the list into at most one run per peer.
+  m.ghost_runs.resize(parts);
+  for (std::size_t s = 0; s < parts; ++s) {
+    const auto& ghosts = m.ghosts[s];
+    auto& runs = m.ghost_runs[s];
+    std::size_t i = 0;
+    while (i < ghosts.size()) {
+      const int peer = m.owner(ghosts[i]);
+      const std::size_t peer_hi = m.bounds[static_cast<std::size_t>(peer) + 1];
+      std::size_t j = i + 1;
+      while (j < ghosts.size() && static_cast<std::size_t>(ghosts[j]) < peer_hi)
+        ++j;
+      runs.push_back(GhostRun{peer, static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j)});
+      i = j;
+    }
+  }
   std::uint64_t incident = 0;
   for (const std::uint64_t e : m.boundary_edges) incident += e;
   m.cut_edges = incident / 2;  // every cut edge is incident to two shards

@@ -68,6 +68,17 @@ std::vector<std::size_t> degree_balanced_bounds(const GraphT& g, int parts,
   return bounds;
 }
 
+/// A maximal run of one shard's ghost list owned by a single peer shard:
+/// ghosts[s][begin..end) all live in `peer`'s contiguous ownership range.
+/// Because ownership ranges are contiguous and ascending, a sorted ghost
+/// list splits into at most one run per peer — each run is one slab a
+/// worker reads from the shared halo plane per round.
+struct GhostRun {
+  int peer = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
 /// The static halo-exchange tables for one (graph, shard count) pair. Host
 /// graphs only: lazy views have no cheap global edge scan, and the proc
 /// backend runs host-graph stages anyway (everything else stays in-process).
@@ -78,6 +89,9 @@ struct ShardManifest {
   std::vector<std::vector<NodeId>> boundary;
   /// Per shard: off-shard nodes read by this shard, ascending, unique.
   std::vector<std::vector<NodeId>> ghosts;
+  /// Per shard: ghosts[s] partitioned into per-owner runs, ascending by
+  /// peer — a worker's per-round read set over the peers' halo slabs.
+  std::vector<std::vector<GhostRun>> ghost_runs;
   /// Subscriber CSR aligned with boundary[s]: the shards ghosting
   /// boundary[s][i] are sub_targets[s][sub_offsets[s][i] ..
   /// sub_offsets[s][i+1]), sorted ascending.

@@ -3,10 +3,17 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "local/shard_runner.hpp"
 
 namespace deltacolor {
 
-ProcShardedBackend::ProcShardedBackend(int shards) : shards_(shards) {
+// Out of line: ShardPlan owns a ShardWorkerPool, which backend.hpp only
+// forward-declares (shard_runner.hpp includes backend.hpp).
+ShardPlan::ShardPlan() = default;
+ShardPlan::~ShardPlan() = default;
+
+ProcShardedBackend::ProcShardedBackend(int shards, bool persistent)
+    : shards_(shards), persistent_(persistent) {
   DC_CHECK_MSG(shards >= 1, "ProcShardedBackend needs at least one shard");
   totals_.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
   totals_.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
@@ -19,6 +26,11 @@ void ProcShardedBackend::prepare(const Graph& g) {
   auto plan = std::make_unique<ShardPlan>();
   plan->graph = &g;
   plan->manifest = ShardManifest::build(g, shards_);
+  plan->pool = std::make_unique<ShardWorkerPool>(*plan, persistent_);
+  // Fork before any stage state exists: the workers' inherited image is
+  // just the graph + manifest, and everything per-stage arrives by wire or
+  // through the shared plane.
+  if (persistent_) plan->pool->spawn_now();
   plans_.push_back(std::move(plan));
 }
 
@@ -27,6 +39,13 @@ const ShardPlan* ProcShardedBackend::plan_for(const Graph& g) {
   for (const auto& plan : plans_)
     if (plan->graph == &g) return plan.get();
   ++totals_.fallback_stages;  // unprepared graph (e.g. a nested subgraph)
+  return nullptr;
+}
+
+const ShardPlan* ProcShardedBackend::find_plan(const Graph& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& plan : plans_)
+    if (plan->graph == &g) return plan.get();
   return nullptr;
 }
 
@@ -51,10 +70,19 @@ void ProcShardedBackend::note_fallback() {
 
 ProcShardedBackend::Totals ProcShardedBackend::totals() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return totals_;
+  Totals t = totals_;
+  for (const auto& plan : plans_) {
+    if (plan->pool == nullptr) continue;
+    const ShardWorkerPool::Stats s = plan->pool->stats();
+    t.forks += s.forks;
+    t.stage_reuse += s.reused;
+    t.shm_bytes += s.shm_bytes;
+  }
+  return t;
 }
 
 std::string ProcShardedBackend::report() const {
+  const Totals t = totals();
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   const ShardManifest* mf =
@@ -68,16 +96,17 @@ std::string ProcShardedBackend::report() const {
          << " ghosts=" << mf->ghosts[i].size()
          << " cut_edges=" << mf->boundary_edges[i];
     }
-    const std::uint64_t in = totals_.ghost_bytes_in[i];
-    const std::uint64_t out = totals_.boundary_bytes_out[i];
+    const std::uint64_t in = t.ghost_bytes_in[i];
+    const std::uint64_t out = t.boundary_bytes_out[i];
     os << " ghost_bytes_in=" << in << " boundary_bytes_out=" << out;
-    if (totals_.rounds > 0)
-      os << " ghost_bytes_per_round=" << in / totals_.rounds;
+    if (t.rounds > 0)
+      os << " ghost_bytes_per_round=" << in / t.rounds;
     os << "\n";
   }
-  os << "SHARDS total shards=" << shards_ << " stages=" << totals_.stages
-     << " fallback_stages=" << totals_.fallback_stages
-     << " rounds=" << totals_.rounds;
+  os << "SHARDS total shards=" << shards_ << " stages=" << t.stages
+     << " fallback_stages=" << t.fallback_stages << " rounds=" << t.rounds
+     << " forks=" << t.forks << " stage_reuse=" << t.stage_reuse
+     << " shm_bytes=" << t.shm_bytes;
   if (mf != nullptr) os << " cut_edges=" << mf->cut_edges;
   return os.str();
 }

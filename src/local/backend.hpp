@@ -20,10 +20,13 @@
 //
 // Plans are opt-in per graph: ProcShardedBackend::prepare(g) builds and
 // caches the manifest for the instance the caller wants sharded (the
-// top-level graph of a run). Nested per-component subgraphs extracted by
-// the composed pipelines are deliberately *not* auto-prepared — forking
-// workers per tiny subgraph stage would cost far more than it saves; those
-// stages fall back in-process and are counted as such.
+// top-level graph of a run), maps the shared-memory halo plane, and forks
+// the persistent worker pool — stages are then *dispatched* to the live
+// workers instead of forking per stage (shard_runner.hpp). Nested
+// per-component subgraphs extracted by the composed pipelines are
+// deliberately *not* auto-prepared — a worker pool per tiny subgraph would
+// cost far more than it saves; those stages fall back in-process and are
+// counted as such.
 //
 // A backend outlives every runner using it; EngineOptions carries a
 // non-owning pointer (nullptr = in-process, the default everywhere).
@@ -39,10 +42,21 @@
 
 namespace deltacolor {
 
-/// A prepared shard split of one host graph.
+class ShardWorkerPool;
+
+/// A prepared shard split of one host graph, plus its live worker pool:
+/// prepare() forks the pool's workers once, and every sharded stage on the
+/// graph is dispatched to them (shard_runner.hpp). Address-stable — pool
+/// workers and runners hold references into it.
 struct ShardPlan {
+  ShardPlan();
+  ~ShardPlan();
+  ShardPlan(const ShardPlan&) = delete;
+  ShardPlan& operator=(const ShardPlan&) = delete;
+
   const Graph* graph = nullptr;
   ShardManifest manifest;
+  std::unique_ptr<ShardWorkerPool> pool;
 };
 
 /// Per-stage exchange accounting reported by the shard runner.
@@ -66,6 +80,14 @@ class ExecutionBackend {
   /// plan commits the engine to the sharded path for that stage.
   virtual const ShardPlan* plan_for(const Graph& g) = 0;
 
+  /// Like plan_for but without fallback accounting — used by runners to
+  /// locate the plan's ship arena outside stage dispatch (ship()/
+  /// ship_flag() calls are per datum, not per stage).
+  virtual const ShardPlan* find_plan(const Graph& g) {
+    (void)g;
+    return nullptr;
+  }
+
   /// Accounting: one sharded stage completed.
   virtual void note_stage(const ShardPlan& plan,
                           const ShardStageStats& stats) {
@@ -88,16 +110,22 @@ class InProcessBackend : public ExecutionBackend {
 /// Multi-process sharded placement with halo exchange.
 class ProcShardedBackend : public ExecutionBackend {
  public:
-  explicit ProcShardedBackend(int shards);
+  /// `persistent` = fork the pool once at prepare() and reuse it across
+  /// stages (the default); false forks per dispatched stage — the PR 7
+  /// baseline, kept selectable for the bench_shard A/B comparison.
+  explicit ProcShardedBackend(int shards, bool persistent = true);
 
   const char* name() const override { return "proc"; }
   int shards() const { return shards_; }
 
-  /// Builds (once) and caches the shard manifest for `g`. Thread-safe;
-  /// concurrent sweep cells sharing one instance share one plan.
+  /// Builds (once) and caches the shard manifest for `g`, maps the shared
+  /// halo plane, and — for persistent backends — forks the worker pool.
+  /// Thread-safe; concurrent sweep cells sharing one instance share one
+  /// plan and one pool.
   void prepare(const Graph& g);
 
   const ShardPlan* plan_for(const Graph& g) override;
+  const ShardPlan* find_plan(const Graph& g) override;
   void note_stage(const ShardPlan& plan,
                   const ShardStageStats& stats) override;
   void note_fallback() override;
@@ -107,6 +135,9 @@ class ProcShardedBackend : public ExecutionBackend {
     std::uint64_t stages = 0;           ///< sharded stages completed
     std::uint64_t fallback_stages = 0;  ///< stages that ran in-process
     std::uint64_t rounds = 0;           ///< rounds across sharded stages
+    std::uint64_t forks = 0;        ///< worker processes ever forked
+    std::uint64_t stage_reuse = 0;  ///< dispatches served by a live pool
+    std::uint64_t shm_bytes = 0;    ///< mapped halo-plane bytes
     std::vector<std::uint64_t> ghost_bytes_in;      // per shard
     std::vector<std::uint64_t> boundary_bytes_out;  // per shard
   };
@@ -121,6 +152,7 @@ class ProcShardedBackend : public ExecutionBackend {
 
  private:
   const int shards_;
+  const bool persistent_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ShardPlan>> plans_;
   Totals totals_;

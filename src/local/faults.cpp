@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 #include "common/arena.hpp"
 #include "common/rng.hpp"
@@ -89,6 +92,103 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out) {
   }
   *out = spec;
   return true;
+}
+
+void FaultInjector::snapshot(std::vector<FaultSpec>* specs,
+                             std::uint64_t* seed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs->clear();
+  for (const ArmedSpec& armed : plan_) specs->push_back(armed.spec);
+  *seed = seed_;
+}
+
+FaultWire snapshot_fault_wire() {
+  FaultWire w;
+  w.armed = FaultInjector::armed();
+  w.cell = FaultInjector::current_cell();
+  w.attempt = FaultInjector::current_attempt();
+  if (w.armed) FaultInjector::global().snapshot(&w.specs, &w.seed);
+  return w;
+}
+
+namespace {
+
+template <typename T>
+void put_raw(const T& v, std::vector<std::uint8_t>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+struct WireReader {
+  const std::uint8_t* p;
+  std::size_t left;
+  template <typename T>
+  T take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (left < sizeof(T))
+      throw std::runtime_error("torn fault wire in STAGE_BEGIN frame");
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return v;
+  }
+};
+
+}  // namespace
+
+void encode_fault_wire(const FaultWire& w, std::vector<std::uint8_t>* out) {
+  put_raw<std::uint8_t>(w.armed ? 1 : 0, out);
+  if (!w.armed) return;
+  put_raw(w.seed, out);
+  put_raw(w.cell, out);
+  put_raw<std::int32_t>(w.attempt, out);
+  put_raw<std::uint32_t>(static_cast<std::uint32_t>(w.specs.size()), out);
+  for (const FaultSpec& s : w.specs) {
+    put_raw<std::uint32_t>(static_cast<std::uint32_t>(s.category), out);
+    put_raw(s.cell, out);
+    put_raw(s.round, out);
+    put_raw(s.node, out);
+    put_raw(s.shard, out);
+    put_raw<std::int32_t>(s.attempts, out);
+    put_raw(s.extra_rounds, out);
+    put_raw(s.sleep_ms, out);
+    put_raw<std::uint32_t>(static_cast<std::uint32_t>(s.phase.size()), out);
+    out->insert(out->end(), s.phase.begin(), s.phase.end());
+  }
+}
+
+std::size_t decode_fault_wire(const std::uint8_t* data, std::size_t size,
+                              FaultWire* out) {
+  WireReader r{data, size};
+  *out = FaultWire{};
+  out->armed = r.take<std::uint8_t>() != 0;
+  if (!out->armed) return size - r.left;
+  out->seed = r.take<std::uint64_t>();
+  out->cell = r.take<std::int64_t>();
+  out->attempt = r.take<std::int32_t>();
+  const std::uint32_t count = r.take<std::uint32_t>();
+  out->specs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FaultSpec s;
+    s.category = static_cast<FaultCategory>(r.take<std::uint32_t>());
+    s.cell = r.take<std::int64_t>();
+    s.round = r.take<std::int64_t>();
+    s.node = r.take<std::int64_t>();
+    s.shard = r.take<std::int64_t>();
+    s.attempts = r.take<std::int32_t>();
+    s.extra_rounds = r.take<std::int64_t>();
+    s.sleep_ms = r.take<double>();
+    const std::uint32_t phase_len = r.take<std::uint32_t>();
+    if (r.left < phase_len)
+      throw std::runtime_error("torn fault wire in STAGE_BEGIN frame");
+    s.phase.assign(reinterpret_cast<const char*>(r.p), phase_len);
+    r.p += phase_len;
+    r.left -= phase_len;
+    out->specs.push_back(std::move(s));
+  }
+  return size - r.left;
 }
 
 FaultInjector& FaultInjector::global() {

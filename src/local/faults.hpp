@@ -81,6 +81,29 @@ struct FaultSpec {
 /// errors (unknown category / key, malformed pair).
 bool parse_fault_spec(std::string_view text, FaultSpec* out);
 
+/// Wire image of the injector's armed state plus the calling thread's
+/// (cell, attempt) coordinates. Persistent shard workers are forked once
+/// per plan, so an arm() that happens after the fork (every sweep-driver
+/// arming does) reaches them only as this snapshot inside each STAGE_BEGIN
+/// frame; the worker re-arms from it per stage, which also resets the
+/// fire-once markers exactly like the old fork-per-stage inheritance did.
+struct FaultWire {
+  bool armed = false;
+  std::uint64_t seed = 1;
+  std::int64_t cell = -1;
+  int attempt = 0;
+  std::vector<FaultSpec> specs;
+};
+
+/// Captures the global injector's plan and the calling thread's cell scope.
+FaultWire snapshot_fault_wire();
+/// Appends the byte encoding of `w` to `out`.
+void encode_fault_wire(const FaultWire& w, std::vector<std::uint8_t>* out);
+/// Decodes one FaultWire from `data`, returning bytes consumed; throws
+/// std::runtime_error on a torn or truncated buffer.
+std::size_t decode_fault_wire(const std::uint8_t* data, std::size_t size,
+                              FaultWire* out);
+
 class FaultInjector {
  public:
   /// Process-wide injector. First call parses DELTACOLOR_FAULTS (if set).
@@ -132,10 +155,11 @@ class FaultInjector {
   /// timeout stalls.
   void on_engine_round(int round);
 
-  /// Proc-backend shard worker round loop (runs in the forked worker, which
-  /// inherited the armed plan and the cell scope): fires process-kill specs
-  /// with round (and optionally shard) coordinates via std::_Exit(137), so
-  /// the coordinator's worker-death detection is exercised for real.
+  /// Proc-backend shard worker round loop (runs in the pool worker, which
+  /// re-armed from the FaultWire shipped in its STAGE_BEGIN frame): fires
+  /// process-kill specs with round (and optionally shard) coordinates via
+  /// std::_Exit(137), so the coordinator's worker-death detection is
+  /// exercised against a genuinely dead process.
   void on_shard_round(int shard, int round);
 
   /// ScratchArena growth (installed as the arena's alloc probe while
@@ -147,6 +171,9 @@ class FaultInjector {
   /// oracle detects a genuine violation.
   void maybe_corrupt_coloring(std::string_view phase, const Graph& g,
                               std::vector<Color>& color);
+
+  /// The armed plan and seed, for shipping to pool workers (FaultWire).
+  void snapshot(std::vector<FaultSpec>* specs, std::uint64_t* seed) const;
 
  private:
   FaultInjector();

@@ -1,0 +1,153 @@
+#include "local/halo_plane.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "local/transport.hpp"
+
+namespace deltacolor {
+
+namespace {
+
+constexpr std::size_t kLine = 64;
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+HaloPlane::HaloPlane(const ShardManifest& mf, std::size_t num_nodes,
+                     std::size_t aux_capacity) {
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "cross-process epoch stamps require address-free atomics");
+  num_shards_ = mf.num_shards();
+  const std::size_t parts = static_cast<std::size_t>(num_shards_);
+  const std::size_t record_cap = 4 + kMaxShardStateBytes;
+
+  std::size_t off = 0;
+  finals_off_ = off;
+  off += parts * sizeof(FinalCell);
+  slab_offs_.resize(parts * 2);
+  slab_caps_.resize(parts);
+  for (std::size_t s = 0; s < parts; ++s) {
+    slab_caps_[s] = round_up(mf.boundary[s].size() * record_cap, kLine);
+    for (int parity = 0; parity < 2; ++parity) {
+      slab_offs_[s * 2 + static_cast<std::size_t>(parity)] = off;
+      off += sizeof(SlabHdr) + slab_caps_[s];
+    }
+  }
+  state_off_ = off;
+  state_cap_ = round_up(num_nodes * kMaxShardStateBytes, kLine);
+  off += state_cap_;
+  aux_off_ = off;
+  aux_cap_ = round_up(aux_capacity, kLine);
+  off += aux_cap_;
+  total_bytes_ = round_up(off, 4096);
+
+  // Anonymous + shared: no shm_open name to leak, unlinked automatically
+  // with the last process, and inherited by fork at the same address (the
+  // offsets above stay valid in every worker). NORESERVE keeps the mostly
+  // -untouched capacity regions free until first write.
+  void* base = ::mmap(nullptr, total_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (base == MAP_FAILED)
+    throw TransportError("mmap of " + std::to_string(total_bytes_) +
+                         "-byte halo plane failed");
+  base_ = static_cast<std::uint8_t*>(base);
+  // The mapping is zero-filled, but atomics begin their lifetime here so
+  // every later cross-process load/store is on a live object.
+  for (int s = 0; s < num_shards_; ++s) {
+    new (final_cell(s)) FinalCell{};
+    new (hdr(s, 0)) SlabHdr{};
+    new (hdr(s, 1)) SlabHdr{};
+  }
+}
+
+HaloPlane::HaloPlane(HaloPlane&& other) noexcept { *this = std::move(other); }
+
+HaloPlane& HaloPlane::operator=(HaloPlane&& other) noexcept {
+  if (this == &other) return *this;
+  if (base_ != nullptr) ::munmap(base_, total_bytes_);
+  base_ = std::exchange(other.base_, nullptr);
+  total_bytes_ = std::exchange(other.total_bytes_, 0);
+  num_shards_ = std::exchange(other.num_shards_, 0);
+  finals_off_ = other.finals_off_;
+  slab_offs_ = std::move(other.slab_offs_);
+  slab_caps_ = std::move(other.slab_caps_);
+  state_off_ = other.state_off_;
+  state_cap_ = std::exchange(other.state_cap_, 0);
+  aux_off_ = other.aux_off_;
+  aux_cap_ = std::exchange(other.aux_cap_, 0);
+  aux_used_ = std::exchange(other.aux_used_, 0);
+  return *this;
+}
+
+HaloPlane::~HaloPlane() {
+  if (base_ != nullptr) ::munmap(base_, total_bytes_);
+}
+
+HaloPlane::SlabHdr* HaloPlane::hdr(int shard, int parity) const {
+  return reinterpret_cast<SlabHdr*>(
+      base_ + slab_offs_[static_cast<std::size_t>(shard) * 2 +
+                         static_cast<std::size_t>(parity)]);
+}
+
+HaloPlane::FinalCell* HaloPlane::final_cell(int shard) const {
+  return reinterpret_cast<FinalCell*>(base_ + finals_off_) + shard;
+}
+
+std::uint8_t* HaloPlane::slab_records(int shard, int parity) {
+  return reinterpret_cast<std::uint8_t*>(hdr(shard, parity)) +
+         sizeof(SlabHdr);
+}
+
+void HaloPlane::publish(int shard, int parity, std::uint64_t epoch,
+                        std::uint32_t count) {
+  SlabHdr* h = hdr(shard, parity);
+  h->count = count;
+  h->epoch.store(epoch, std::memory_order_release);
+}
+
+HaloPlane::SlabView HaloPlane::open(int shard, int parity,
+                                    std::uint64_t epoch,
+                                    std::size_t record_size) const {
+  const SlabHdr* h = hdr(shard, parity);
+  const std::uint64_t got = h->epoch.load(std::memory_order_acquire);
+  if (got != epoch)
+    throw TransportError("halo slab shard=" + std::to_string(shard) +
+                         " parity=" + std::to_string(parity) +
+                         " holds epoch " + std::to_string(got) +
+                         ", expected " + std::to_string(epoch));
+  const std::uint32_t count = h->count;
+  if (static_cast<std::size_t>(count) * record_size >
+      slab_caps_[static_cast<std::size_t>(shard)])
+    throw TransportError("halo slab shard=" + std::to_string(shard) +
+                         " publishes " + std::to_string(count) +
+                         " records past its capacity");
+  return SlabView{
+      reinterpret_cast<const std::uint8_t*>(h) + sizeof(SlabHdr), count};
+}
+
+void HaloPlane::publish_final(int shard, std::uint64_t epoch) {
+  final_cell(shard)->epoch.store(epoch, std::memory_order_release);
+}
+
+bool HaloPlane::check_final(int shard, std::uint64_t epoch) const {
+  return final_cell(shard)->epoch.load(std::memory_order_acquire) == epoch;
+}
+
+void* HaloPlane::aux_alloc(std::size_t bytes, std::size_t align) {
+  DC_CHECK(align >= 1 && (align & (align - 1)) == 0);
+  const std::size_t at = round_up(aux_used_, align);
+  if (at + bytes > aux_cap_ || at + bytes < at) return nullptr;
+  aux_used_ = at + bytes;
+  return base_ + aux_off_ + at;
+}
+
+}  // namespace deltacolor

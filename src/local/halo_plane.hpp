@@ -1,0 +1,143 @@
+// HaloPlane: the shared-memory data plane of the sharded backend.
+//
+// PR 7 moved every boundary record through the coordinator (worker
+// serialize -> socketpair frame -> coordinator route -> socketpair frame ->
+// subscriber deserialize: three copies and two syscalls per round per
+// shard). The plane replaces all of that with one anonymous MAP_SHARED
+// mapping created by the coordinator *before* the workers fork, so every
+// process sees the same physical pages at the same virtual address and a
+// publisher's store is the subscriber's load. Socketpairs remain only the
+// control plane (STAGE_BEGIN / barrier / STEP / HALT) and the worker-death
+// detector (EOF).
+//
+// Layout, sized once from the ShardManifest (offsets are fixed for the
+// plan's lifetime, so forked workers can be handed the plane by value):
+//
+//   finals    per shard, one cache line holding an atomic<u64> epoch the
+//             worker stamps after writing its final state slice;
+//   slabs     per (shard, parity) — parity = round & 1, double buffering —
+//             a header line {atomic<u64> epoch, u32 count} plus room for
+//             every boundary node of that shard as a (u32 node, state
+//             bytes) record;
+//   states    the packed byte image of the stage's state vector
+//             (num_nodes x state_size, capacity num_nodes x
+//             kMaxShardStateBytes): the coordinator broadcasts initial
+//             state with one memcpy, workers bulk-load it, and at HALT each
+//             worker writes back exactly its owned slice;
+//   aux       a bump arena for read-only data shipped alongside closures
+//             (SyncRunner::ship / ship_flag): lookup tables, color lists,
+//             sticky failure flags. Reset when the plan's stage slot is
+//             fully released.
+//
+// Publication protocol (seqlock-shaped, one writer per slab): the writer
+// stores records and the count, then release-stores the slab epoch
+// (stage_id << 32 | round); a reader acquire-loads the epoch and treats any
+// mismatch as a torn slab (structured TransportError, never a silent short
+// read). std::atomic on a lock-free std::uint64_t is address-free, so the
+// same cells synchronize across processes through the shared mapping — and
+// the class is plain memory, so one process with two threads exercises the
+// identical ordering under TSan (tests/test_shard_backend.cpp).
+//
+// Double-buffer safety needs no further synchronization: the epoch
+// published for round r overwrites the round r-2 slab of the same parity,
+// and the coordinator's gather-all-barriers-then-release protocol
+// guarantees every reader finished with round r-2 before any writer could
+// have received the STEP that leads to the round-r publish.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/partition.hpp"
+
+namespace deltacolor {
+
+/// Largest per-node state the plane's fixed-capacity regions accept; the
+/// engine's shardability gate enforces it at compile time (every state in
+/// the library is <= 16 bytes today).
+inline constexpr std::size_t kMaxShardStateBytes = 64;
+
+class HaloPlane {
+ public:
+  HaloPlane() = default;
+  /// Maps and zero-initializes a plane for `mf` over a graph of
+  /// `num_nodes` nodes with `aux_capacity` bytes of ship arena. Throws
+  /// TransportError if the mapping fails.
+  HaloPlane(const ShardManifest& mf, std::size_t num_nodes,
+            std::size_t aux_capacity);
+  HaloPlane(HaloPlane&& other) noexcept;
+  HaloPlane& operator=(HaloPlane&& other) noexcept;
+  HaloPlane(const HaloPlane&) = delete;
+  HaloPlane& operator=(const HaloPlane&) = delete;
+  ~HaloPlane();
+
+  bool valid() const { return base_ != nullptr; }
+  std::size_t bytes_mapped() const { return total_bytes_; }
+
+  // --- boundary slabs ------------------------------------------------------
+  /// Writable record area of (shard, parity); capacity slab_capacity(shard).
+  std::uint8_t* slab_records(int shard, int parity);
+  std::size_t slab_capacity(int shard) const {
+    return slab_caps_[static_cast<std::size_t>(shard)];
+  }
+  /// Publishes `count` records: count store, then epoch release-store.
+  void publish(int shard, int parity, std::uint64_t epoch,
+               std::uint32_t count);
+
+  struct SlabView {
+    const std::uint8_t* records = nullptr;
+    std::uint32_t count = 0;
+  };
+  /// Acquire-reads (shard, parity); throws TransportError if the slab's
+  /// epoch is not exactly `epoch` or its record bytes would exceed the slab
+  /// capacity (a torn or misordered publish).
+  SlabView open(int shard, int parity, std::uint64_t epoch,
+                std::size_t record_size) const;
+
+  // --- packed state image --------------------------------------------------
+  std::uint8_t* state_bytes() { return base_ + state_off_; }
+  const std::uint8_t* state_bytes() const { return base_ + state_off_; }
+  std::size_t state_capacity() const { return state_cap_; }
+
+  /// Worker: stamp shard `s`'s final-state slice as written (release).
+  void publish_final(int shard, std::uint64_t epoch);
+  /// Coordinator: true iff shard `s` stamped exactly `epoch` (acquire).
+  bool check_final(int shard, std::uint64_t epoch) const;
+
+  // --- ship arena ----------------------------------------------------------
+  /// Bump-allocates `bytes` aligned to `align`; nullptr when full (the
+  /// caller falls back to in-process execution). Coordinator-only, under
+  /// the plan's stage slot.
+  void* aux_alloc(std::size_t bytes, std::size_t align);
+  void aux_reset() { aux_used_ = 0; }
+  std::size_t aux_used() const { return aux_used_; }
+  std::size_t aux_capacity() const { return aux_cap_; }
+
+ private:
+  struct alignas(64) SlabHdr {
+    std::atomic<std::uint64_t> epoch;
+    std::uint32_t count;
+  };
+  struct alignas(64) FinalCell {
+    std::atomic<std::uint64_t> epoch;
+  };
+
+  SlabHdr* hdr(int shard, int parity) const;
+  FinalCell* final_cell(int shard) const;
+
+  std::uint8_t* base_ = nullptr;
+  std::size_t total_bytes_ = 0;
+  int num_shards_ = 0;
+  std::size_t finals_off_ = 0;
+  std::vector<std::size_t> slab_offs_;  // per (shard * 2 + parity): header
+  std::vector<std::size_t> slab_caps_;  // per shard: record bytes capacity
+  std::size_t state_off_ = 0;
+  std::size_t state_cap_ = 0;
+  std::size_t aux_off_ = 0;
+  std::size_t aux_cap_ = 0;
+  std::size_t aux_used_ = 0;
+};
+
+}  // namespace deltacolor

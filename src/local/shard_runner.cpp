@@ -11,36 +11,70 @@
 
 #include "common/check.hpp"
 #include "common/errors.hpp"
+#include "local/faults.hpp"
 
 namespace deltacolor {
 
-ShardStage::ShardStage(const ShardPlan& plan, std::size_t state_size)
+namespace {
+
+template <typename T>
+void put_raw(const T& v, std::vector<std::uint8_t>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+/// STAGE_BEGIN payload; see the header comment for the layout. The fault
+/// wire is snapshotted at dispatch time on the dispatching thread, so the
+/// worker sees exactly the (plan, seed, cell, attempt) context the
+/// coordinator's stage would have seen.
+std::vector<std::uint8_t> encode_stage_begin(const StageWire& wire,
+                                             std::uint64_t stage_id,
+                                             int max_rounds) {
+  std::vector<std::uint8_t> out;
+  put_raw<std::uint64_t>(
+      reinterpret_cast<std::uint64_t>(
+          reinterpret_cast<void*>(wire.entry)),
+      &out);
+  put_raw<std::uint64_t>(stage_id, &out);
+  put_raw<std::int32_t>(max_rounds, &out);
+  put_raw<std::uint32_t>(static_cast<std::uint32_t>(wire.state_size), &out);
+  put_raw<std::uint32_t>(static_cast<std::uint32_t>(wire.step_bytes.size()),
+                         &out);
+  put_raw<std::uint32_t>(static_cast<std::uint32_t>(wire.done_bytes.size()),
+                         &out);
+  encode_fault_wire(snapshot_fault_wire(), &out);
+  out.insert(out.end(), wire.step_bytes.begin(), wire.step_bytes.end());
+  out.insert(out.end(), wire.done_bytes.begin(), wire.done_bytes.end());
+  return out;
+}
+
+}  // namespace
+
+ShardWorkerPool::ShardWorkerPool(const ShardPlan& plan, bool persistent)
     : plan_(plan),
-      state_size_(state_size),
-      record_size_(4 + state_size) {
+      persistent_(persistent),
+      plane_(plan.manifest, plan.graph->num_nodes(),
+             /*aux_capacity=*/16 * plan.graph->num_nodes() +
+                 32 * plan.graph->num_edges() + (1u << 20)) {
   DC_CHECK(plan_.graph != nullptr);
-  DC_CHECK(state_size_ > 0);
+  stats_.shm_bytes = plane_.bytes_mapped();
 }
 
-ShardStage::~ShardStage() {
-  // Close our ends first: a worker blocked in recv() sees EOF and exits on
-  // its own; anything still alive after that (wedged mid-step, mid-fault
-  // sleep) is killed. SIGKILL on an already-exited child is a no-op, and
-  // the waitpid reaps either way — no zombies, no hang.
-  chans_.clear();
-  for (const pid_t pid : pids_) {
-    if (pid <= 0) continue;
-    ::kill(pid, SIGKILL);
-    int status = 0;
-    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-    }
-  }
+ShardWorkerPool::~ShardWorkerPool() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  teardown_locked();
 }
 
-void ShardStage::spawn(
-    const std::function<void(int, FrameChannel&)>& worker_main) {
+void ShardWorkerPool::spawn_now() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!live_) spawn_locked();
+}
+
+void ShardWorkerPool::spawn_locked() {
   const int shards = plan_.manifest.num_shards();
   DC_CHECK(chans_.empty());
+  live_ = true;  // teardown_locked() cleans up a partially-spawned pool
   chans_.reserve(static_cast<std::size_t>(shards));
   pids_.assign(static_cast<std::size_t>(shards), -1);
   // Parent stdio is flushed once so a child's inherited buffers never
@@ -53,18 +87,63 @@ void ShardStage::spawn(
     const pid_t pid = FdRegistry::global().fork_with_only(&keep, 1);
     if (pid < 0) throw TransportError("fork failed for shard worker");
     if (pid == 0) {
-      // Child: the parent ends registered by other stages (and this one)
-      // are already closed by fork_with_only; run the worker body.
-      worker_main(s, child_end);
-      std::_Exit(1);  // worker_main must not return
+      // Child: the parent ends registered by other pools (and this one)
+      // are already closed by fork_with_only; park in the control loop.
+      shard_worker_loop(plan_, plane_, s, child_end);
     }
     pids_[static_cast<std::size_t>(s)] = pid;
     child_end.close();  // parent keeps only its own end
     chans_.push_back(std::move(parent_end));
+    ++stats_.forks;
   }
 }
 
-void ShardStage::die_worker(int shard, int round, const char* what) {
+void ShardWorkerPool::teardown_locked() {
+  // Orderly first: a worker parked in recv() exits 0 on kShutdown or on
+  // the EOF from closing our end. Anything still alive after that (wedged
+  // mid-step, mid-fault sleep) is killed. SIGKILL on an already-exited
+  // child is a no-op, and the waitpid reaps either way — no zombies.
+  for (FrameChannel& ch : chans_) {
+    if (!ch.valid()) continue;
+    try {
+      ch.send(FrameType::kShutdown, nullptr, 0);
+    } catch (const TransportError&) {
+    }
+  }
+  chans_.clear();
+  for (const pid_t pid : pids_) {
+    if (pid <= 0) continue;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  pids_.clear();
+  live_ = false;
+}
+
+void ShardWorkerPool::slot_acquire() {
+  mu_.lock();
+  ++slot_depth_;
+}
+
+void ShardWorkerPool::slot_release() {
+  DC_CHECK(slot_depth_ > 0);
+  if (--slot_depth_ == 0) plane_.aux_reset();
+  mu_.unlock();
+}
+
+void* ShardWorkerPool::aux_alloc(std::size_t bytes, std::size_t align) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return plane_.aux_alloc(bytes, align);
+}
+
+ShardWorkerPool::Stats ShardWorkerPool::stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return stats_;
+}
+
+void ShardWorkerPool::die_worker(int shard, int round, const char* what) {
   ErrorContext ctx;
   ctx.round = round;
   throw CellError(FaultCategory::kWorkerDeath,
@@ -73,28 +152,68 @@ void ShardStage::die_worker(int shard, int round, const char* what) {
                   ctx);
 }
 
-ShardStage::Result ShardStage::drive(int max_rounds) {
-  const ShardManifest& mf = plan_.manifest;
-  const int shards = mf.num_shards();
+ShardWorkerPool::StageResult ShardWorkerPool::run_stage(
+    const StageWire& wire, int max_rounds, void* states,
+    std::size_t state_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DC_CHECK(wire.entry != nullptr);
+  DC_CHECK(wire.state_size > 0 && wire.state_size <= kMaxShardStateBytes);
+  DC_CHECK(state_bytes <= plane_.state_capacity());
+  ++stats_.dispatches;
+  if (live_)
+    ++stats_.reused;
+  else
+    spawn_locked();
+
+  const std::uint64_t stage_id = next_stage_id_++;
+  std::memcpy(plane_.state_bytes(), states, state_bytes);
+  const std::vector<std::uint8_t> begin =
+      encode_stage_begin(wire, stage_id, max_rounds);
+  StageResult res;
+  try {
+    for (int s = 0; s < plan_.manifest.num_shards(); ++s) {
+      try {
+        chans_[static_cast<std::size_t>(s)].send(FrameType::kStageBegin,
+                                                 begin);
+      } catch (const TransportError&) {
+        die_worker(s, -1, "died");
+      }
+    }
+    res = drive_locked(max_rounds, 4 + wire.state_size);
+    finish_locked(stage_id);
+    std::memcpy(states, plane_.state_bytes(), state_bytes);
+  } catch (...) {
+    // A failed stage never leaks processes; the next dispatch reforks.
+    teardown_locked();
+    throw;
+  }
+  if (!persistent_) teardown_locked();
+  return res;
+}
+
+ShardWorkerPool::StageResult ShardWorkerPool::drive_locked(
+    int max_rounds, std::size_t record_size) {
+  const int shards = plan_.manifest.num_shards();
   DC_CHECK(static_cast<int>(chans_.size()) == shards);
 
-  Result res;
+  StageResult res;
   res.stats.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
   res.stats.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
 
-  std::vector<Frame> barriers(static_cast<std::size_t>(shards));
-  std::vector<std::vector<std::uint8_t>> out(
-      static_cast<std::size_t>(shards));
+  Frame f;
   for (;;) {
     // Gather every shard's barrier before sending anything: no circular
     // waits (workers send their barrier unconditionally after stepping),
-    // and a dead worker is detected here as EOF on its channel.
+    // and a dead worker is detected here as EOF on its channel. The
+    // barrier is a fixed 9-byte frame — [u8 done][u32 published]
+    // [u32 applied] — validated up front; the record payloads themselves
+    // live in the shared plane and are bounds-checked by HaloPlane::open.
     bool all_done = true;
     for (int s = 0; s < shards; ++s) {
-      Frame& f = barriers[static_cast<std::size_t>(s)];
+      const std::size_t si = static_cast<std::size_t>(s);
       bool got = false;
       try {
-        got = chans_[static_cast<std::size_t>(s)].recv(&f);
+        got = chans_[si].recv(&f);
       } catch (const TransportError&) {
         got = false;
       }
@@ -108,57 +227,33 @@ ShardStage::Result ShardStage::drive(int max_rounds) {
                 std::string(f.payload.begin(), f.payload.end()),
             ctx);
       }
-      if (f.type != FrameType::kBarrier ||
-          f.payload.size() < 5)
+      if (f.type != FrameType::kBarrier || f.payload.size() != 9)
         die_worker(s, res.rounds, "sent a malformed barrier");
       all_done &= f.payload[0] != 0;
+      std::uint32_t published = 0;
+      std::uint32_t applied = 0;
+      std::memcpy(&published, f.payload.data() + 1, 4);
+      std::memcpy(&applied, f.payload.data() + 5, 4);
+      res.stats.boundary_bytes_out[si] += published * record_size;
+      res.stats.ghost_bytes_in[si] += applied * record_size;
     }
 
     if (all_done || res.rounds >= max_rounds) {
-      for (int s = 0; s < shards; ++s)
-        chans_[static_cast<std::size_t>(s)].send(FrameType::kHalt, nullptr,
-                                                 0);
+      for (int s = 0; s < shards; ++s) {
+        try {
+          chans_[static_cast<std::size_t>(s)].send(FrameType::kHalt, nullptr,
+                                                   0);
+        } catch (const TransportError&) {
+          die_worker(s, res.rounds, "died");
+        }
+      }
       return res;
     }
 
-    // Route each shard's changed-boundary records to its subscribers. The
-    // records arrive ascending (workers scan their sorted boundary list),
-    // so a single merge walk against boundary[s] finds each record's
-    // subscriber slice.
-    for (auto& payload : out) payload.assign(4, 0);  // count placeholder
     for (int s = 0; s < shards; ++s) {
-      const std::size_t si = static_cast<std::size_t>(s);
-      const Frame& f = barriers[si];
-      std::uint32_t count = 0;
-      std::memcpy(&count, f.payload.data() + 1, 4);
-      if (f.payload.size() != 5 + count * record_size_)
-        die_worker(s, res.rounds, "sent a torn barrier payload");
-      res.stats.boundary_bytes_out[si] += count * record_size_;
-      const std::uint8_t* rec = f.payload.data() + 5;
-      const auto& boundary = mf.boundary[si];
-      const auto& offsets = mf.sub_offsets[si];
-      const auto& targets = mf.sub_targets[si];
-      std::size_t idx = 0;
-      for (std::uint32_t i = 0; i < count; ++i, rec += record_size_) {
-        std::uint32_t node = 0;
-        std::memcpy(&node, rec, 4);
-        while (idx < boundary.size() && boundary[idx] < node) ++idx;
-        if (idx >= boundary.size() || boundary[idx] != node)
-          die_worker(s, res.rounds, "published a non-boundary node");
-        for (std::uint32_t t = offsets[idx]; t < offsets[idx + 1]; ++t) {
-          auto& payload = out[targets[t]];
-          payload.insert(payload.end(), rec, rec + record_size_);
-          res.stats.ghost_bytes_in[targets[t]] += record_size_;
-        }
-      }
-    }
-    for (int s = 0; s < shards; ++s) {
-      auto& payload = out[static_cast<std::size_t>(s)];
-      const std::uint32_t count = static_cast<std::uint32_t>(
-          (payload.size() - 4) / record_size_);
-      std::memcpy(payload.data(), &count, 4);
       try {
-        chans_[static_cast<std::size_t>(s)].send(FrameType::kStep, payload);
+        chans_[static_cast<std::size_t>(s)].send(FrameType::kStep, nullptr,
+                                                 0);
       } catch (const TransportError&) {
         die_worker(s, res.rounds, "died");
       }
@@ -168,21 +263,103 @@ ShardStage::Result ShardStage::drive(int max_rounds) {
   }
 }
 
-void ShardStage::collect(
-    const std::function<void(int, const std::uint8_t*, std::size_t)>& sink) {
-  const ShardManifest& mf = plan_.manifest;
-  for (int s = 0; s < mf.num_shards(); ++s) {
-    Frame f;
+void ShardWorkerPool::finish_locked(std::uint64_t stage_id) {
+  const int shards = plan_.manifest.num_shards();
+  Frame f;
+  for (int s = 0; s < shards; ++s) {
     bool got = false;
     try {
       got = chans_[static_cast<std::size_t>(s)].recv(&f);
     } catch (const TransportError&) {
       got = false;
     }
-    if (!got || f.type != FrameType::kFinal ||
-        f.payload.size() != mf.shard_size(s) * state_size_)
+    if (!got || f.type != FrameType::kStageEnd)
       die_worker(s, -1, "died before delivering final state");
-    sink(s, f.payload.data(), f.payload.size());
+    if (!plane_.check_final(s, stage_id))
+      die_worker(s, -1, "acked a stage without publishing final state");
+  }
+}
+
+void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
+                       FrameChannel& ch) {
+  Frame f;
+  for (;;) {
+    bool got = false;
+    try {
+      got = ch.recv(&f);
+    } catch (...) {
+      std::_Exit(1);
+    }
+    // EOF (coordinator gone or tearing down) and kShutdown are both
+    // orderly exits; anything else out of stage context is a protocol bug.
+    if (!got || f.type == FrameType::kShutdown) std::_Exit(0);
+    if (f.type != FrameType::kStageBegin) std::_Exit(1);
+    try {
+      const std::uint8_t* p = f.payload.data();
+      std::size_t left = f.payload.size();
+      const auto take = [&](void* dst, std::size_t nbytes) {
+        if (left < nbytes) throw TransportError("torn STAGE_BEGIN frame");
+        std::memcpy(dst, p, nbytes);
+        p += nbytes;
+        left -= nbytes;
+      };
+      std::uint64_t entry_raw = 0;
+      std::uint64_t stage_id = 0;
+      std::int32_t max_rounds = 0;
+      std::uint32_t state_size = 0;
+      std::uint32_t step_size = 0;
+      std::uint32_t done_size = 0;
+      take(&entry_raw, 8);
+      take(&stage_id, 8);
+      take(&max_rounds, 4);
+      take(&state_size, 4);
+      take(&step_size, 4);
+      take(&done_size, 4);
+      FaultWire fw;
+      const std::size_t used = decode_fault_wire(p, left, &fw);
+      p += used;
+      left -= used;
+      if (left != static_cast<std::size_t>(step_size) + done_size)
+        throw TransportError("torn STAGE_BEGIN frame");
+
+      WorkerStageCtx ctx;
+      ctx.plan = &plan;
+      ctx.plane = &plane;
+      ctx.ch = &ch;
+      ctx.shard = shard;
+      ctx.stage_id = stage_id;
+      ctx.max_rounds = max_rounds;
+      ctx.state_size = state_size;
+      ctx.step_bytes = p;
+      ctx.step_size = step_size;
+      ctx.done_bytes = p + step_size;
+      ctx.done_size = done_size;
+
+      // Re-create the coordinator's fault context for this stage: arm()
+      // resets the fire-once markers, so per-stage re-firing matches what
+      // fork-per-stage inheritance used to produce.
+      if (fw.armed)
+        FaultInjector::global().arm(fw.specs, fw.seed);
+      else
+        FaultInjector::global().disarm();
+      const auto entry = reinterpret_cast<StageEntryFn>(
+          reinterpret_cast<void*>(entry_raw));
+      FaultInjector::CellScope scope(fw.cell, fw.attempt);
+      entry(ctx);
+    } catch (const std::exception& e) {
+      try {
+        ch.send(FrameType::kError, e.what(), std::strlen(e.what()));
+      } catch (...) {
+      }
+      std::_Exit(1);
+    } catch (...) {
+      try {
+        const char kWhat[] = "unknown exception in shard worker";
+        ch.send(FrameType::kError, kWhat, sizeof(kWhat) - 1);
+      } catch (...) {
+      }
+      std::_Exit(1);
+    }
   }
 }
 

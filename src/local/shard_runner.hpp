@@ -1,99 +1,183 @@
-// ShardStage: the process-level machinery under one sharded engine stage.
+// ShardWorkerPool: persistent worker processes under a prepared shard plan.
 //
-// Execution model: fork-per-stage. The coordinator (the process running the
-// pipeline) reaches a shardable SyncRunner stage and forks one worker per
-// shard *inside* run — the workers inherit the graph (mmap'd .dcsr pages
-// stay shared; in-memory CSR is copy-on-write and read-only), the state
-// vectors, and the step/done closures, which is what makes arbitrary C++
-// step functors sharded-executable without any serialization of code.
-// Workers step only their owned contiguous node range, serially; the
-// coordinator never steps, it drives barriers and routes boundary state.
+// Execution model: fork-once-per-plan. ProcShardedBackend::prepare(g)
+// constructs the pool, which maps the shared-memory HaloPlane
+// (halo_plane.hpp) and — for persistent pools — forks one worker per shard
+// immediately, while the coordinator's heap still holds nothing but the
+// graph and the manifest. Each worker parks in shard_worker_loop() reading
+// control frames; every shardable SyncRunner stage is then *dispatched* to
+// the live pool with a STAGE_BEGIN frame instead of paying fork + COW
+// warm-up + teardown per stage, so a 40-stage pipeline costs one fork per
+// shard, not 40.
 //
-// Barrier protocol (bit-identical to the in-process loop
-// `while (rounds < max && !done(cur)) { step; swap; ++rounds; }`):
+// Because workers fork before the stages exist, a stage's closures cannot
+// be inherited; they are shipped by value. STAGE_BEGIN carries
 //
-//   worker, once after fork:    BARRIER{done(initial own range), no records}
-//   coordinator, per barrier:   all workers done, or rounds == max_rounds?
-//                                 -> HALT to all; rounds = STEPs issued
-//                               else STEP{ghost records for that shard} to
-//                                 all; ++rounds
-//   worker, per STEP:           apply ghost records to cur; step own range
-//                               into nxt; refresh nxt[ghost] = cur[ghost]
-//                               (so the shadow buffer's ghost slots survive
-//                               the swap); swap; BARRIER{done(own range),
-//                               changed boundary records ascending}
-//   worker, on HALT:            FINAL{raw own-range state bytes}; _Exit(0)
-//   worker, on exception:       ERROR{what()}; _Exit(1)
+//   [u64 entry][u64 stage_id][i32 max_rounds][u32 state_size]
+//   [u32 step_size][u32 done_size][fault wire][step bytes][done bytes]
 //
-// The done bits accompanying round-r state make the coordinator's halt
-// decision exactly the oracle's done-before-each-round check, so round
-// counts match; routing only *changed* boundary records is sound because
-// every ghost copy starts identical (same initial vector) and every change
-// is delivered at the barrier it happened.
+// where `entry` is the address of the templated trampoline
+// shard_stage_entry<State, Step, Done> (sync_runner.hpp) — valid in every
+// worker because fork preserves the process image — and the step/done
+// bytes are the functors' trivially-copyable object representations. The
+// engine only ships functors explicitly marked shard_safe() whose captures
+// are values, the pre-prepare host graph, or plane-resident views
+// (ShardSpan / ShardFlag), so no shipped byte ever decodes to a
+// coordinator-only address. The fault wire re-arms the worker's injector
+// per stage (faults.hpp), preserving the fork-per-stage fault semantics
+// the fault-matrix suite pins.
 //
-// Failure: a worker that dies (crash, SIGKILL, injected process-kill)
-// closes its socket; the coordinator sees EOF or EPIPE at the next barrier
-// and throws CellError(kWorkerDeath) with the round coordinate — the sweep
-// driver's retry/quarantine taxonomy handles it like any other structured
-// cell failure. The ShardStage destructor SIGKILLs and reaps any remaining
-// workers, so a failed stage never leaks processes or hangs.
+// Round protocol per stage (data plane entirely in the HaloPlane; frames
+// carry no records):
 //
-// This class is deliberately type-agnostic: records are (u32 node,
-// state_size raw bytes), so the coordinator logic lives in one .cpp and
-// SyncRunner's templated worker body (sync_runner.hpp) is the only code
-// instantiated per State type.
+//   worker, on STAGE_BEGIN:  load state image; publish empty slab epoch(0);
+//                            BARRIER{done, published=0, applied=0}
+//   coordinator, per barrier: all done, or rounds == max? -> HALT to all
+//                             else STEP to all; ++rounds
+//   worker, per STEP:        apply peers' slabs at epoch(r) (ghost-run
+//                            merge); step own range; refresh ghost shadow
+//                            slots; swap; publish changed boundary records
+//                            at epoch(r+1); BARRIER{done, published, applied}
+//   worker, on HALT:         write own state slice; publish_final(stage_id);
+//                            STAGE_END; return to the control loop
+//
+// Gathering every shard's barrier before releasing any STEP is unchanged
+// from the fork-per-stage design, and it is also what makes the
+// double-buffered slabs safe: the epoch(r) publish overwrites the parity
+// buddy epoch(r-2), which every reader finished with before the barrier
+// that gated this worker's STEP (see halo_plane.hpp).
+//
+// Failure: a dead worker (crash, SIGKILL, injected process-kill) surfaces
+// as EOF/EPIPE on its control socket; the coordinator throws
+// CellError(kWorkerDeath) with the round coordinate and tears the pool
+// down (SIGKILL + reap — a failed stage never leaks processes or hangs).
+// The next dispatch simply forks a fresh pool, so one dead worker
+// quarantines one cell, not the plan.
 #pragma once
 
 #include <sys/types.h>
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "local/backend.hpp"
+#include "local/halo_plane.hpp"
 #include "local/transport.hpp"
 
 namespace deltacolor {
 
-class ShardStage {
+/// Everything a stage trampoline needs inside the worker: the plan tables,
+/// the shared plane, the control channel, and the raw closure bytes.
+struct WorkerStageCtx {
+  const ShardPlan* plan = nullptr;
+  HaloPlane* plane = nullptr;
+  FrameChannel* ch = nullptr;
+  int shard = 0;
+  std::uint64_t stage_id = 0;
+  int max_rounds = 0;
+  std::size_t state_size = 0;
+  const std::uint8_t* step_bytes = nullptr;
+  std::size_t step_size = 0;
+  const std::uint8_t* done_bytes = nullptr;
+  std::size_t done_size = 0;
+
+  /// Slab epoch of round `round` within this stage: stage ids start at 1,
+  /// so no epoch ever collides with the plane's zero-initialized stamps or
+  /// with any other stage's rounds.
+  std::uint64_t epoch(int round) const {
+    return (stage_id << 32) | static_cast<std::uint32_t>(round);
+  }
+};
+
+/// The templated trampoline (instantiated per State/Step/Done in
+/// sync_runner.hpp) whose address travels in STAGE_BEGIN.
+using StageEntryFn = void (*)(const WorkerStageCtx&);
+
+/// One stage's dispatch payload, composed by SyncRunner::run_sharded.
+struct StageWire {
+  StageEntryFn entry = nullptr;
+  std::size_t state_size = 0;
+  std::vector<std::uint8_t> step_bytes;
+  std::vector<std::uint8_t> done_bytes;
+};
+
+class ShardWorkerPool {
  public:
-  /// `plan` must outlive the stage; `state_size` = sizeof(State).
-  ShardStage(const ShardPlan& plan, std::size_t state_size);
-  ~ShardStage();
-  ShardStage(const ShardStage&) = delete;
-  ShardStage& operator=(const ShardStage&) = delete;
+  /// `plan` must outlive the pool (the pool is a member of it, constructed
+  /// by ProcShardedBackend::prepare). Non-persistent pools fork per
+  /// dispatch and tear down after each stage — the fork-per-stage baseline
+  /// kept for the bench_shard A/B comparison.
+  ShardWorkerPool(const ShardPlan& plan, bool persistent);
+  ~ShardWorkerPool();
+  ShardWorkerPool(const ShardWorkerPool&) = delete;
+  ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
 
-  /// Forks one worker per shard. `worker_main(shard, channel)` runs in the
-  /// child and must never return (it exits via _Exit). Throws on fork
-  /// failure (already-forked workers are cleaned up by the destructor).
-  void spawn(const std::function<void(int, FrameChannel&)>& worker_main);
+  bool persistent() const { return persistent_; }
 
-  struct Result {
+  /// Forks the workers now (called at prepare() for persistent pools so
+  /// the fork happens before any stage state exists on the heap).
+  void spawn_now();
+
+  struct StageResult {
     int rounds = 0;
     ShardStageStats stats;
   };
 
-  /// Drives the barrier protocol to completion and returns the round count
-  /// plus exchange accounting. Throws CellError (kWorkerDeath for a dead
-  /// worker, kEngineException for a worker-reported exception or protocol
-  /// violation).
-  Result drive(int max_rounds);
+  /// Dispatches one stage to the pool (forking it first if it is not
+  /// live), drives the barrier protocol, and copies the final state image
+  /// back into `states`. Throws CellError (kWorkerDeath for a dead worker,
+  /// kEngineException for a worker-reported exception or protocol
+  /// violation); on any failure the pool is torn down and the next
+  /// dispatch reforks. Caller must hold the stage slot.
+  StageResult run_stage(const StageWire& wire, int max_rounds, void* states,
+                        std::size_t state_bytes);
 
-  /// Collects the FINAL frames, invoking sink(shard, data, bytes) in shard
-  /// order; bytes is exactly shard_size * state_size. Call once, after
-  /// drive().
-  void collect(
-      const std::function<void(int, const std::uint8_t*, std::size_t)>& sink);
+  /// The stage slot serializes whole stages (and their shipped aux data)
+  /// across concurrent sweep cells sharing one plan. Recursive: a runner
+  /// holds the slot from its first ship()/dispatch until destruction, and
+  /// nested runners on the same thread re-enter freely. Releasing the
+  /// outermost hold resets the plane's aux arena.
+  void slot_acquire();
+  void slot_release();
+
+  /// Bump-allocates ship arena bytes in the shared plane (nullptr = full).
+  /// Caller must hold the stage slot.
+  void* aux_alloc(std::size_t bytes, std::size_t align);
+
+  struct Stats {
+    std::uint64_t forks = 0;       ///< worker processes ever forked
+    std::uint64_t dispatches = 0;  ///< stages dispatched
+    std::uint64_t reused = 0;      ///< dispatches served by a live pool
+    std::uint64_t shm_bytes = 0;   ///< mapped halo-plane bytes
+  };
+  Stats stats() const;
 
  private:
+  void spawn_locked();
+  void teardown_locked();
   [[noreturn]] void die_worker(int shard, int round, const char* what);
+  StageResult drive_locked(int max_rounds, std::size_t record_size);
+  void finish_locked(std::uint64_t stage_id);
 
   const ShardPlan& plan_;
-  const std::size_t state_size_;
-  const std::size_t record_size_;  // 4-byte node id + state bytes
+  const bool persistent_;
+  HaloPlane plane_;
+  mutable std::recursive_mutex mu_;
+  int slot_depth_ = 0;
   std::vector<FrameChannel> chans_;
   std::vector<pid_t> pids_;
+  bool live_ = false;
+  std::uint64_t next_stage_id_ = 1;
+  Stats stats_;
 };
+
+/// Worker-process control loop: parks on the channel, runs one stage per
+/// STAGE_BEGIN via its trampoline, exits 0 on kShutdown/EOF and 1 (after a
+/// best-effort kError frame) on any exception. Runs in the forked child;
+/// never returns.
+[[noreturn]] void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane,
+                                    int shard, FrameChannel& ch);
 
 }  // namespace deltacolor

@@ -32,6 +32,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <concepts>
 #include <cstdint>
 #include <cstring>
@@ -70,6 +73,58 @@ struct EngineOptions {
   /// else silently runs in-process, so results never depend on this field.
   ExecutionBackend* backend = nullptr;
 };
+
+/// A borrowed (pointer, length) view over trivially-copyable read-only
+/// data. SyncRunner::ship() returns one whose pointer targets the shard
+/// plan's shared halo plane (or the original vector when no pool applies),
+/// so a step functor capturing it by value stays valid inside pool workers
+/// — unlike a captured `const std::vector<T>&`, whose heap buffer a
+/// post-fork worker has never seen.
+template <typename T>
+struct ShardSpan {
+  const T* data = nullptr;
+  std::size_t size = 0;
+  const T& operator[](std::size_t i) const { return data[i]; }
+  const T* begin() const { return data; }
+  const T* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+};
+
+/// A sticky one-byte failure flag whose cell lives in the shared halo
+/// plane (SyncRunner::ship_flag), so pool workers setting it are visible
+/// to the coordinator; the runner ORs every shipped cell back into its
+/// original std::atomic<bool> after each run. Relaxed ordering suffices:
+/// the flag is monotone (never cleared) and only read after the stage's
+/// final-state handshake.
+struct ShardFlag {
+  std::atomic<std::uint8_t>* cell = nullptr;
+  void set() const { cell->store(1, std::memory_order_relaxed); }
+  bool test() const { return cell->load(std::memory_order_relaxed) != 0; }
+};
+
+/// Marker wrapper asserting a step/done functor is safe to dispatch to a
+/// forked pool worker by shipping its raw bytes: every capture is a value,
+/// the pre-prepare host graph by reference, or a shipped ShardSpan /
+/// ShardFlag / raw pointer into the plane — never a coordinator stack or
+/// post-prepare heap address. Unmarked functors always run in-process, so
+/// adding the sharded path to a call site is an explicit, auditable edit.
+template <typename Fn>
+struct ShardSafe : Fn {
+  explicit ShardSafe(Fn fn) : Fn(std::move(fn)) {}
+};
+
+template <typename Fn>
+ShardSafe<std::decay_t<Fn>> shard_safe(Fn&& fn) {
+  return ShardSafe<std::decay_t<Fn>>(std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+inline constexpr bool is_shard_safe_v = false;
+template <typename Fn>
+inline constexpr bool is_shard_safe_v<ShardSafe<Fn>> = true;
+
+template <typename State, typename StepFn, typename DoneFn>
+void shard_stage_entry(const WorkerStageCtx& ctx);
 
 /// `GraphT` is any type modeling the GraphView concept (graph_view.hpp):
 /// the host Graph (the default), or a lazy InducedSubgraphView /
@@ -156,19 +211,34 @@ class SyncRunner {
     }
   }
 
+  SyncRunner(const SyncRunner&) = delete;
+  SyncRunner& operator=(const SyncRunner&) = delete;
+
+  ~SyncRunner() {
+    // The stage slot (and with it the plane's ship arena) is held until
+    // the runner dies: multi-stage runners re-read shipped data across
+    // many run_* calls, so per-stage release would let a concurrent cell
+    // reset the arena under them.
+    if (slot_pool_ != nullptr) slot_pool_->slot_release();
+  }
+
   /// Runs until `done` or `max_rounds`; returns rounds executed.
   /// StepFn: State(const View&). DoneFn: bool(const std::vector<State>&).
   template <typename StepFn, typename DoneFn>
   int run(int max_rounds, StepFn&& step, DoneFn&& done) {
+    int rounds = 0;
     if (options_.frontier) {
       if constexpr (std::equality_comparable<State>) {
-        return run_frontier(max_rounds, step, done);
+        rounds = run_frontier(max_rounds, step, done);
       } else {
         DC_CHECK_MSG(false,
                      "frontier mode requires an equality-comparable State");
       }
+    } else {
+      rounds = run_full(max_rounds, step, done);
     }
-    return run_full(max_rounds, step, done);
+    sync_flags();
+    return rounds;
   }
 
   /// Runs until every node satisfies `done_node(v, state_v)` — a halting
@@ -180,9 +250,18 @@ class SyncRunner {
   /// state every round. DoneNodeFn: bool(NodeId, const State&).
   template <typename StepFn, typename DoneNodeFn>
   int run_until(int max_rounds, StepFn&& step, DoneNodeFn&& done_node) {
-    if constexpr (kShardable) {
-      if (const ShardPlan* plan = shard_plan())
-        return run_sharded(*plan, max_rounds, step, done_node);
+    // The sharded path additionally requires the step functor (and any
+    // non-trivial done predicate) to be explicitly shard_safe-marked: only
+    // audited closures ever have their bytes shipped to a pool worker. A
+    // captureless done predicate is safe by construction.
+    if constexpr (kShardable && is_shard_safe_v<std::decay_t<StepFn>> &&
+                  (is_shard_safe_v<std::decay_t<DoneNodeFn>> ||
+                   std::is_empty_v<std::decay_t<DoneNodeFn>>)) {
+      if (const ShardPlan* plan = shard_plan()) {
+        if (plan->pool != nullptr && !aux_overflow_)
+          return run_sharded(*plan, max_rounds, step, done_node);
+        note_unshardable();  // shipped aux overflowed the plane's arena
+      }
     } else {
       note_unshardable();
     }
@@ -198,10 +277,13 @@ class SyncRunner {
   /// constant-false predicate, and shardable like run_until.
   template <typename StepFn>
   int run_rounds(int max_rounds, StepFn&& step) {
-    if constexpr (kShardable) {
+    if constexpr (kShardable && is_shard_safe_v<std::decay_t<StepFn>>) {
       const auto never_node = [](NodeId, const State&) { return false; };
-      if (const ShardPlan* plan = shard_plan())
-        return run_sharded(*plan, max_rounds, step, never_node);
+      if (const ShardPlan* plan = shard_plan()) {
+        if (plan->pool != nullptr && !aux_overflow_)
+          return run_sharded(*plan, max_rounds, step, never_node);
+        note_unshardable();
+      }
     } else {
       note_unshardable();
     }
@@ -211,6 +293,51 @@ class SyncRunner {
 
   const std::vector<State>& states() const { return cur_; }
   std::vector<State> take_states() { return std::move(cur_); }
+
+  /// Copies `data` into the shard plan's shared ship arena and returns a
+  /// span a shard_safe step functor may capture by value. When no pool
+  /// applies (no backend, unprepared graph, lazy view, arena full) the
+  /// span aliases `data` itself — the functor then only ever runs
+  /// in-process, where the original vector is live. `data` must outlive
+  /// the runner either way and must not be mutated between run_* calls
+  /// (the worker reads the shipped copy; in-process reads the original).
+  template <typename T>
+  ShardSpan<T> ship(const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (ShardWorkerPool* pool = ship_pool()) {
+      const std::size_t bytes = data.size() * sizeof(T);
+      if (void* dst = pool->aux_alloc(bytes, alignof(T))) {
+        std::memcpy(dst, data.data(), bytes);
+        return ShardSpan<T>{static_cast<const T*>(dst), data.size()};
+      }
+      aux_overflow_ = true;  // subsequent stages fall back in-process
+    }
+    return ShardSpan<T>{data.data(), data.size()};
+  }
+
+  /// Registers `orig` for cross-process reporting: returns a ShardFlag
+  /// whose cell lives in the shared plane (or runner-local storage on the
+  /// fallback paths); after every run_* the runner ORs each cell back into
+  /// its original atomic. Unlike capturing `&orig`, the returned value is
+  /// safe inside pool workers.
+  ShardFlag ship_flag(std::atomic<bool>& orig) {
+    std::atomic<std::uint8_t>* cell = nullptr;
+    if (ShardWorkerPool* pool = ship_pool()) {
+      if (void* p = pool->aux_alloc(sizeof(std::atomic<std::uint8_t>),
+                                    alignof(std::atomic<std::uint8_t>))) {
+        cell = new (p) std::atomic<std::uint8_t>(0);
+      } else {
+        aux_overflow_ = true;
+      }
+    }
+    if (cell == nullptr) {
+      local_cells_.push_back(
+          std::make_unique<std::atomic<std::uint8_t>>(0));
+      cell = local_cells_.back().get();
+    }
+    flags_.push_back(FlagBinding{cell, &orig});
+    return ShardFlag{cell};
+  }
 
   /// Zero-round local relabeling: every node applies `fn` to its own state
   /// with no communication (e.g. KW palette compaction between stages).
@@ -227,11 +354,12 @@ class SyncRunner {
  private:
   /// Static gates for the sharded path: a concrete host graph (lazy views
   /// have no cheap partition/cut scan and per-component work stays local
-  /// anyway), raw-byte-copyable state (records ship state as bytes), and
-  /// equality (changed-boundary detection).
+  /// anyway), raw-byte-copyable state that fits the halo plane's
+  /// fixed-capacity regions, and equality (changed-boundary detection).
   static constexpr bool kShardable = std::same_as<GraphT, Graph> &&
                                      std::is_trivially_copyable_v<State> &&
-                                     std::equality_comparable<State>;
+                                     std::equality_comparable<State> &&
+                                     sizeof(State) <= kMaxShardStateBytes;
 
   /// The backend's plan for this runner's graph, or nullptr to stay
   /// in-process. Only compiled into shardable instantiations.
@@ -246,122 +374,73 @@ class SyncRunner {
     if (options_.backend != nullptr) options_.backend->note_fallback();
   }
 
-  /// Fork-per-stage sharded execution (see shard_runner.hpp for the
-  /// protocol and why results are bit-identical to run_full). The calling
-  /// process becomes the coordinator; each forked worker inherits g_,
-  /// cur_/nxt_, and the step/done closures copy-on-write and steps only
-  /// its own contiguous node range, serially. Frontier mode is ignored
-  /// here — sharded stages are full sweeps — which is sound because
-  /// frontier runs are bit-identical to full sweeps by contract.
-  template <typename StepFn, typename DoneNodeFn>
-  int run_sharded(const ShardPlan& plan, int max_rounds, StepFn& step,
-                  DoneNodeFn& done_node) {
-    DC_CHECK(plan.graph == &g_);
-    ShardStage stage(plan, sizeof(State));
-    stage.spawn([&](int shard, FrameChannel& ch) {
-      shard_worker_main(plan.manifest, shard, ch, step, done_node);
-    });
-    const typename ShardStage::Result res = stage.drive(max_rounds);
-    stage.collect([&](int s, const std::uint8_t* data, std::size_t bytes) {
-      std::memcpy(cur_.data() + plan.manifest.bounds[static_cast<
-                      std::size_t>(s)],
-                  data, bytes);
-    });
-    options_.backend->note_stage(plan, res.stats);
-    return res.rounds;
+  /// The plan's worker pool if ship()/ship_flag() should target its shared
+  /// arena, acquiring the stage slot on first use (held until the runner
+  /// dies — see the destructor). Accounting-neutral: uses find_plan, not
+  /// plan_for, so ships don't inflate the per-stage fallback counters.
+  ShardWorkerPool* ship_pool() {
+    if constexpr (kShardable) {
+      if (options_.backend == nullptr || aux_overflow_) return nullptr;
+      const ShardPlan* plan = options_.backend->find_plan(g_);
+      if (plan == nullptr || plan->pool == nullptr) return nullptr;
+      hold_slot(plan->pool.get());
+      return plan->pool.get();
+    } else {
+      return nullptr;
+    }
   }
 
-  /// Worker-process body: the round loop of run_full restricted to the
-  /// owned range [lo, hi), with ghost slots of cur_ refreshed from STEP
-  /// records at each barrier and re-pinned into nxt_ before the swap (a
-  /// ghost's shadow slot would otherwise be two rounds stale). Exits the
-  /// process; never returns.
-  template <typename StepFn, typename DoneNodeFn>
-  [[noreturn]] void shard_worker_main(const ShardManifest& mf, int shard,
-                                      FrameChannel& ch, StepFn& step,
-                                      DoneNodeFn& done_node) {
-    try {
-      const std::size_t lo = mf.bounds[static_cast<std::size_t>(shard)];
-      const std::size_t hi = mf.bounds[static_cast<std::size_t>(shard) + 1];
-      const auto& boundary = mf.boundary[static_cast<std::size_t>(shard)];
-      const auto& ghosts = mf.ghosts[static_cast<std::size_t>(shard)];
-      std::vector<std::uint8_t> payload;
-      const auto own_done = [&]() -> std::uint8_t {
-        for (std::size_t i = lo; i < hi; ++i)
-          if (!done_node(static_cast<NodeId>(i), cur_[i])) return 0;
-        return 1;
-      };
-      const auto send_barrier = [&](bool with_records) {
-        payload.assign(1, own_done());
-        payload.resize(5, 0);
-        std::uint32_t count = 0;
-        if (with_records) {
-          // nxt_ holds the pre-swap (previous round) states; changed
-          // boundary nodes are published ascending, matching the
-          // coordinator's merge walk.
-          for (const NodeId b : boundary) {
-            if (cur_[b] == nxt_[b]) continue;
-            payload.insert(payload.end(),
-                           reinterpret_cast<const std::uint8_t*>(&b),
-                           reinterpret_cast<const std::uint8_t*>(&b) + 4);
-            const auto* bytes =
-                reinterpret_cast<const std::uint8_t*>(&cur_[b]);
-            payload.insert(payload.end(), bytes, bytes + sizeof(State));
-            ++count;
-          }
-        }
-        std::memcpy(payload.data() + 1, &count, 4);
-        ch.send(FrameType::kBarrier, payload);
-      };
-      send_barrier(/*with_records=*/false);
-      int r = 0;
-      Frame f;
-      for (;;) {
-        if (!ch.recv(&f)) std::_Exit(1);  // coordinator vanished
-        if (f.type == FrameType::kHalt) {
-          ch.send(FrameType::kFinal,
-                  reinterpret_cast<const std::uint8_t*>(cur_.data() + lo),
-                  (hi - lo) * sizeof(State));
-          std::_Exit(0);
-        }
-        DC_CHECK(f.type == FrameType::kStep);
-        constexpr std::size_t kRecord = 4 + sizeof(State);
-        std::uint32_t count = 0;
-        DC_CHECK(f.payload.size() >= 4);
-        std::memcpy(&count, f.payload.data(), 4);
-        DC_CHECK(f.payload.size() == 4 + count * kRecord);
-        const std::uint8_t* rec = f.payload.data() + 4;
-        for (std::uint32_t i = 0; i < count; ++i, rec += kRecord) {
-          NodeId node = 0;
-          std::memcpy(&node, rec, 4);
-          std::memcpy(&cur_[node], rec + 4, sizeof(State));
-        }
-        if (FaultInjector::armed()) {
-          FaultInjector::global().on_engine_round(r);
-          FaultInjector::global().on_shard_round(shard, r);
-        }
-        ScratchArena::local().reset();
-        for (std::size_t i = lo; i < hi; ++i)
-          nxt_[i] = step(View(g_, static_cast<NodeId>(i), cur_, r));
-        for (const NodeId gnode : ghosts) nxt_[gnode] = cur_[gnode];
-        cur_.swap(nxt_);
-        ++r;
-        send_barrier(/*with_records=*/true);
-      }
-    } catch (const std::exception& e) {
-      try {
-        ch.send(FrameType::kError, e.what(), std::strlen(e.what()));
-      } catch (...) {
-      }
-      std::_Exit(1);
-    } catch (...) {
-      try {
-        const char kWhat[] = "unknown exception in shard worker";
-        ch.send(FrameType::kError, kWhat, sizeof(kWhat) - 1);
-      } catch (...) {
-      }
-      std::_Exit(1);
+  void hold_slot(ShardWorkerPool* pool) {
+    if (slot_pool_ == pool) return;
+    DC_CHECK(slot_pool_ == nullptr);
+    pool->slot_acquire();
+    slot_pool_ = pool;
+  }
+
+  /// ORs every shipped flag cell back into its original atomic<bool>. Runs
+  /// after every execution path, so callers observe identical flag state
+  /// whether the stage ran in a pool worker or in-process.
+  void sync_flags() {
+    for (const FlagBinding& b : flags_) {
+      if (b.cell->load(std::memory_order_relaxed) != 0)
+        b.orig->store(true, std::memory_order_relaxed);
     }
+  }
+
+  /// Persistent-pool sharded execution (see shard_runner.hpp for the
+  /// protocol and why results are bit-identical to run_full). The stage is
+  /// dispatched to the plan's live workers: the state image crosses via
+  /// the shared plane, and the step/done functors cross as raw bytes
+  /// reconstructed by the shard_stage_entry trampoline — which is why only
+  /// shard_safe()-marked, trivially-copyable closures reach this path.
+  /// Frontier mode is ignored here — sharded stages are full sweeps —
+  /// which is sound because frontier runs are bit-identical to full sweeps
+  /// by contract.
+  template <typename StepFn, typename DoneNodeFn>
+  int run_sharded(const ShardPlan& plan, int max_rounds, const StepFn& step,
+                  const DoneNodeFn& done_node) {
+    DC_CHECK(plan.graph == &g_);
+    using StepD = std::decay_t<StepFn>;
+    using DoneD = std::decay_t<DoneNodeFn>;
+    static_assert(std::is_trivially_copyable_v<StepD>,
+                  "shard_safe step functors must be trivially copyable");
+    static_assert(std::is_trivially_copyable_v<DoneD>,
+                  "shard_safe done predicates must be trivially copyable");
+    hold_slot(plan.pool.get());
+    StageWire wire;
+    wire.entry = &shard_stage_entry<State, StepD, DoneD>;
+    wire.state_size = sizeof(State);
+    wire.step_bytes.resize(sizeof(StepD));
+    std::memcpy(wire.step_bytes.data(), std::addressof(step),
+                sizeof(StepD));
+    wire.done_bytes.resize(sizeof(DoneD));
+    std::memcpy(wire.done_bytes.data(), std::addressof(done_node),
+                sizeof(DoneD));
+    const ShardWorkerPool::StageResult res = plan.pool->run_stage(
+        wire, max_rounds, cur_.data(), cur_.size() * sizeof(State));
+    options_.backend->note_stage(plan, res.stats);
+    sync_flags();
+    return res.rounds;
   }
 
   template <typename StepFn, typename DoneFn>
@@ -571,7 +650,148 @@ class SyncRunner {
   // Full sweeps: stable degree-balanced worker chunk bounds (see
   // compute_chunk_bounds); empty until the first full sweep needs them.
   std::vector<std::size_t> chunk_bounds_;
+  // Sharded dispatch: the pool whose stage slot this runner holds (see
+  // ship_pool / ~SyncRunner), and whether a ship() overflowed the plane's
+  // arena (subsequent stages then run in-process, where the original data
+  // the returned spans alias is live).
+  ShardWorkerPool* slot_pool_ = nullptr;
+  bool aux_overflow_ = false;
+  // Shipped failure flags: plane (or local fallback) cell -> original.
+  struct FlagBinding {
+    std::atomic<std::uint8_t>* cell;
+    std::atomic<bool>* orig;
+  };
+  std::vector<FlagBinding> flags_;
+  std::vector<std::unique_ptr<std::atomic<std::uint8_t>>> local_cells_;
 };
+
+/// Worker-side stage trampoline: reconstructs the shipped step/done
+/// functors from their byte images and runs the round loop of
+/// SyncRunner::run_full restricted to the worker's owned range [lo, hi),
+/// with ghost slots refreshed from the peers' halo slabs at each barrier
+/// and re-pinned into the shadow buffer before the swap (a ghost's shadow
+/// slot would otherwise be two rounds stale). Dispatched by address via
+/// STAGE_BEGIN (shard_runner.hpp); returns to the worker control loop
+/// after acking HALT, leaving the worker parked for the next stage.
+template <typename State, typename StepFn, typename DoneFn>
+void shard_stage_entry(const WorkerStageCtx& ctx) {
+  static_assert(std::is_trivially_copyable_v<State>);
+  static_assert(std::is_trivially_copyable_v<StepFn>);
+  static_assert(std::is_trivially_copyable_v<DoneFn>);
+  if (ctx.state_size != sizeof(State) || ctx.step_size != sizeof(StepFn) ||
+      ctx.done_size != sizeof(DoneFn))
+    throw TransportError(
+        "STAGE_BEGIN closure bytes do not match the stage's types");
+  // bit_cast via a byte array: the wire bytes are the functors' object
+  // representations, captured in the dispatching process whose address
+  // space fork duplicated — values, &host-graph, and plane pointers all
+  // stay valid here; that is exactly the shard_safe contract.
+  std::array<std::byte, sizeof(StepFn)> step_img;
+  std::memcpy(step_img.data(), ctx.step_bytes, sizeof(StepFn));
+  const StepFn step = std::bit_cast<StepFn>(step_img);
+  std::array<std::byte, sizeof(DoneFn)> done_img;
+  std::memcpy(done_img.data(), ctx.done_bytes, sizeof(DoneFn));
+  const DoneFn done_node = std::bit_cast<DoneFn>(done_img);
+
+  const Graph& g = *ctx.plan->graph;
+  const ShardManifest& mf = ctx.plan->manifest;
+  HaloPlane& plane = *ctx.plane;
+  const int shard = ctx.shard;
+  const std::size_t si = static_cast<std::size_t>(shard);
+  const std::size_t lo = mf.bounds[si];
+  const std::size_t hi = mf.bounds[si + 1];
+  const auto& boundary = mf.boundary[si];
+  const auto& ghosts = mf.ghosts[si];
+  const auto& runs = mf.ghost_runs[si];
+  constexpr std::size_t kRecord = 4 + sizeof(State);
+  const std::size_t n = g.num_nodes();
+
+  std::vector<State> cur(n);
+  std::vector<State> nxt(n);
+  std::memcpy(cur.data(), plane.state_bytes(), n * sizeof(State));
+
+  using ViewT = typename SyncRunner<State, Graph>::View;
+  const auto own_done = [&]() -> std::uint8_t {
+    for (std::size_t i = lo; i < hi; ++i)
+      if (!done_node(static_cast<NodeId>(i), cur[i])) return 0;
+    return 1;
+  };
+  const auto send_barrier = [&](std::uint32_t published,
+                                std::uint32_t applied) {
+    std::uint8_t payload[9];
+    payload[0] = own_done();
+    std::memcpy(payload + 1, &published, 4);
+    std::memcpy(payload + 5, &applied, 4);
+    ctx.ch->send(FrameType::kBarrier, payload, sizeof(payload));
+  };
+  // Changed boundary records, published ascending into this shard's slab
+  // for `round`'s parity (the buddy buffer now holds round - 2, which
+  // every reader is done with — see halo_plane.hpp). One bulk region
+  // write + one release store replaces the per-record frame copies of the
+  // fork-per-stage design.
+  const auto publish_round = [&](int round) -> std::uint32_t {
+    std::uint8_t* rec = plane.slab_records(shard, round & 1);
+    std::uint32_t count = 0;
+    for (const NodeId b : boundary) {
+      if (cur[b] == nxt[b]) continue;  // nxt holds the pre-swap states
+      std::memcpy(rec, &b, 4);
+      std::memcpy(rec + 4, &cur[b], sizeof(State));
+      rec += kRecord;
+      ++count;
+    }
+    plane.publish(shard, round & 1, ctx.epoch(round), count);
+    return count;
+  };
+
+  plane.publish(shard, 0, ctx.epoch(0), 0);  // round 0 reads empty slabs
+  send_barrier(0, 0);
+  int r = 0;
+  Frame f;
+  for (;;) {
+    if (!ctx.ch->recv(&f)) std::_Exit(1);  // coordinator vanished
+    if (f.type == FrameType::kHalt) {
+      std::memcpy(plane.state_bytes() + lo * sizeof(State), cur.data() + lo,
+                  (hi - lo) * sizeof(State));
+      plane.publish_final(shard, ctx.stage_id);
+      ctx.ch->send(FrameType::kStageEnd, nullptr, 0);
+      return;
+    }
+    if (f.type != FrameType::kStep)
+      throw TransportError("unexpected frame inside a stage round loop");
+    // Apply the peers' round-r slabs: a two-pointer merge of each slab's
+    // ascending records against this shard's ascending ghost run for that
+    // peer. Only matching ghost slots are written, so even a corrupt slab
+    // cannot write outside the ghost set.
+    std::uint32_t applied = 0;
+    for (const GhostRun& run : runs) {
+      const HaloPlane::SlabView sv =
+          plane.open(run.peer, r & 1, ctx.epoch(r), kRecord);
+      const std::uint8_t* rec = sv.records;
+      std::uint32_t gi = run.begin;
+      for (std::uint32_t i = 0; i < sv.count && gi < run.end;
+           ++i, rec += kRecord) {
+        NodeId node = 0;
+        std::memcpy(&node, rec, 4);
+        while (gi < run.end && ghosts[gi] < node) ++gi;
+        if (gi < run.end && ghosts[gi] == node) {
+          std::memcpy(&cur[node], rec + 4, sizeof(State));
+          ++applied;
+        }
+      }
+    }
+    if (FaultInjector::armed()) {
+      FaultInjector::global().on_engine_round(r);
+      FaultInjector::global().on_shard_round(shard, r);
+    }
+    ScratchArena::local().reset();
+    for (std::size_t i = lo; i < hi; ++i)
+      nxt[i] = step(ViewT(g, static_cast<NodeId>(i), cur, r));
+    for (const NodeId gnode : ghosts) nxt[gnode] = cur[gnode];
+    cur.swap(nxt);
+    ++r;
+    send_barrier(publish_round(r), applied);
+  }
+}
 
 /// One round of "everyone publishes, everyone reads neighbors" implemented
 /// directly for hand-rolled primitives that keep their own buffers: swaps

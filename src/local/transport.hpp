@@ -32,14 +32,18 @@
 
 namespace deltacolor {
 
-/// Frame vocabulary of the halo-exchange barrier protocol (see
-/// shard_runner.hpp for the sequencing contract).
+/// Frame vocabulary of the shard control plane (see shard_runner.hpp for
+/// the sequencing contract). Since the persistent-pool rework the frames
+/// carry no graph state — boundary records and final state travel through
+/// the shared-memory HaloPlane; frames carry only the protocol.
 enum class FrameType : std::uint8_t {
-  kBarrier = 1,  ///< worker -> coord: done bit + changed boundary records
-  kStep = 2,     ///< coord -> worker: ghost records; step one round
-  kHalt = 3,     ///< coord -> worker: stop; send kFinal and exit
-  kFinal = 4,    ///< worker -> coord: full owned-range state bytes
-  kError = 5,    ///< worker -> coord: exception text; worker exits nonzero
+  kBarrier = 1,     ///< worker -> coord: done bit + publish/apply counts
+  kStep = 2,        ///< coord -> worker: step one round (data is in the plane)
+  kHalt = 3,        ///< coord -> worker: stop; publish final, send kStageEnd
+  kStageEnd = 4,    ///< worker -> coord: stage done, final state published
+  kError = 5,       ///< worker -> coord: exception text; worker exits nonzero
+  kStageBegin = 6,  ///< coord -> worker: dispatch one stage to the live pool
+  kShutdown = 7,    ///< coord -> worker: orderly pool teardown; worker exits
 };
 
 struct Frame {

@@ -74,16 +74,17 @@ LinialResult linial_reduce(const ViewT& view,
   // optimization does not apply (worker count still does).
   SyncRunner<std::uint64_t, ViewT> runner(view, initial,
                                           ctx.round_indexed_engine());
-  struct Stage {
-    std::uint64_t q = 0;
-    int d = 0;
-  };
-  Stage stage;
   std::atomic<bool> failed{false};
+  // The flag cell (unlike &failed, a stack address) survives shipping into
+  // pool workers; each run_* ORs it back into `failed`.
+  const ShardFlag fail_flag = runner.ship_flag(failed);
 
-  const auto step = [&](const auto& v) -> std::uint64_t {
-    const std::uint64_t q = stage.q;
-    const int d = stage.d;
+  // One stage = one engine round with stage-specific (q, d); the step
+  // closure is rebuilt per stage with those scalars captured by value, so
+  // its byte image is self-contained and the stage is dispatchable to the
+  // persistent shard pool (shard_safe below).
+  const auto make_step = [&](std::uint64_t q, int d) {
+    return shard_safe([q, d, fail_flag](const auto& v) -> std::uint64_t {
     // Decompose the closed neighborhood's colors into base-q coefficient
     // vectors (the "message" each neighbor publishes is its polynomial).
     // Scratch lives in the worker's round-local arena (one frame per
@@ -128,14 +129,14 @@ LinialResult linial_reduce(const ViewT& view,
       }
       if (ok) return x * q + mine;
     }
-    failed.store(true, std::memory_order_relaxed);
+    fail_flag.set();
     return v.self();
+    });
   };
   for (;;) {
     const auto [q, d] = detail::linial_choose_field(max_degree, max_val);
     if (q * q > max_val) break;  // fixed point: no further progress
-    stage = Stage{q, d};
-    runner.run_rounds(1, step);
+    runner.run_rounds(1, make_step(q, d));
     DC_CHECK_MSG(!failed.load(std::memory_order_relaxed),
                  "Linial: no collision-free point (q=" << q << ")");
     max_val = q * q - 1;

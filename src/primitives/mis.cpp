@@ -20,15 +20,17 @@ std::vector<bool> mis_deterministic(const Graph& g, LocalContext& ctx) {
   SyncRunner<std::uint8_t> runner(
       g, std::vector<std::uint8_t>(g.num_nodes(), 0),
       ctx.round_indexed_engine());
-  const auto step = [&](const auto& v) -> std::uint8_t {
+  // Ship the schedule so the stage can dispatch to pool workers.
+  const ShardSpan<Color> color = runner.ship(lin.color);
+  const auto step = shard_safe([color](const auto& v) -> std::uint8_t {
     if (v.self()) return 1;
-    if (lin.color[v.node()] != v.round()) return 0;
+    if (color[v.node()] != v.round()) return 0;
     bool blocked = false;
     v.for_each_neighbor([&](NodeId u) {
       if (v.neighbor(u)) blocked = true;
     });
     return blocked ? 0 : 1;
-  };
+  });
   runner.run_rounds(lin.num_colors, step);
   const auto& states = runner.states();
   std::vector<bool> in_set(g.num_nodes(), false);
@@ -67,7 +69,9 @@ std::vector<bool> mis_luby(const Graph& g, LocalContext& ctx) {
   // its elimination round).
   SyncRunner<LubyState> runner(g, std::vector<LubyState>(n),
                                ctx.round_indexed_engine());
-  const auto step = [&](const auto& v) -> LubyState {
+  // Captures: seed by value, the pre-prepare host graph by reference —
+  // both valid inside forked pool workers, so the stage is shard-safe.
+  const auto step = shard_safe([seed, &g](const auto& v) -> LubyState {
     LubyState s = v.self();
     if (s.status == kLubyIn || s.status == kLubyOut) return s;
     switch (v.round() % 3) {
@@ -102,7 +106,7 @@ std::vector<bool> mis_luby(const Graph& g, LocalContext& ctx) {
         return s;
       }
     }
-  };
+  });
   const auto done_node = [](NodeId, const LubyState& s) {
     return s.status == kLubyIn || s.status == kLubyOut;
   };

@@ -54,17 +54,21 @@ RulingSetResult ruling_set(const ViewT& view, LocalContext& ctx) {
   // Engine round r peels bit (bits - 1 - r): round-indexed, frontier off.
   SyncRunner<std::uint8_t, ViewT> runner(
       view, std::vector<std::uint8_t>(n, 1), ctx.round_indexed_engine());
-  const auto step = [&](const auto& v) -> std::uint8_t {
+  // The Linial labels are read-only side data; shipping them places a copy
+  // in the halo plane so pool workers see them (in-process runs alias the
+  // vector directly).
+  const ShardSpan<Color> label = runner.ship(lin.color);
+  const auto step = shard_safe([bits, label](const auto& v) -> std::uint8_t {
     if (!v.self()) return 0;
     const int b = bits - 1 - v.round();
-    if (((lin.color[v.node()] >> b) & 1) == 1) return 1;
+    if (((label[v.node()] >> b) & 1) == 1) return 1;
     std::uint8_t survives = 1;
     v.for_each_neighbor([&](NodeId u) {
-      if (v.neighbor(u) && ((lin.color[u] >> b) & 1) == 1)
+      if (v.neighbor(u) && ((label[u] >> b) & 1) == 1)
         survives = 0;  // a bit-1 candidate neighbor dominates v
     });
     return survives;
-  };
+  });
   runner.run_rounds(bits, step);
   // Survivors are independent: adjacent survivors would agree on every bit,
   // i.e. share a Linial color — impossible for a proper coloring.

@@ -9,18 +9,27 @@
 //      CellError, which the sweep driver's quarantine turns into a
 //      partial-result table instead of a torn-down batch.
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench_support/sweep.hpp"
 #include "bench_support/workloads.hpp"
 #include "common/errors.hpp"
 #include "graph/generators.hpp"
+#include "graph/partition.hpp"
 #include "local/backend.hpp"
 #include "local/faults.hpp"
+#include "local/halo_plane.hpp"
 #include "local/transport.hpp"
 #include "registry/registry.hpp"
 
@@ -86,6 +95,168 @@ TEST(Transport, BackToBackFramesKeepBoundaries) {
     ASSERT_EQ(f.payload.size(), static_cast<std::size_t>(i) * 7);
     for (const std::uint8_t b : f.payload) EXPECT_EQ(b, i);
   }
+}
+
+std::vector<std::uint8_t> patterned_payload(std::size_t size) {
+  std::vector<std::uint8_t> payload(size);
+  for (std::size_t i = 0; i < size; ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return payload;
+}
+
+TEST(Transport, ShortWritesAndShortReadsReassembleTheFrame) {
+  // Shrink both socket buffers so a multi-megabyte frame cannot move in one
+  // syscall: send() must loop over partial writes while a peer thread
+  // drains, and recv() must stitch the frame back from many short reads.
+  auto [coord, worker] = FrameChannel::open_pair();
+  const int small = 4096;
+  setsockopt(coord.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  setsockopt(worker.fd(), SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  const std::vector<std::uint8_t> payload = patterned_payload(1 << 22);
+  std::thread sender(
+      [&coord = coord, &payload] { coord.send(FrameType::kStageBegin, payload); });
+  Frame f;
+  ASSERT_TRUE(worker.recv(&f));
+  sender.join();
+  EXPECT_EQ(f.type, FrameType::kStageBegin);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(Transport, DribbledHeaderAndPayloadBytesKeepBoundaries) {
+  // A peer that trickles one byte per write (header split across writes,
+  // then the payload) must still produce exactly one intact frame: recv()'s
+  // short-read loop may never treat a partial header or payload as a frame
+  // boundary.
+  auto [coord, worker] = FrameChannel::open_pair();
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5};
+  std::vector<std::uint8_t> wire;
+  const std::uint32_t len = static_cast<std::uint32_t>(1 + payload.size());
+  wire.resize(4);
+  std::memcpy(wire.data(), &len, 4);
+  wire.push_back(static_cast<std::uint8_t>(FrameType::kBarrier));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  std::thread dribbler([fd = coord.fd(), wire] {
+    for (const std::uint8_t b : wire) {
+      ASSERT_EQ(write(fd, &b, 1), 1);
+      usleep(200);
+    }
+  });
+  Frame f;
+  ASSERT_TRUE(worker.recv(&f));
+  dribbler.join();
+  EXPECT_EQ(f.type, FrameType::kBarrier);
+  EXPECT_EQ(f.payload, payload);
+}
+
+void eintr_noop_handler(int) {}
+
+TEST(Transport, EintrMidTransferIsRetriedWithoutTearing) {
+  // A 1ms interval timer with a no-SA_RESTART handler peppers both the
+  // sending and receiving threads with EINTR while a large frame crawls
+  // through 4 KiB socket buffers; the transport's retry loops must absorb
+  // every interruption without tearing or duplicating bytes.
+  struct sigaction sa = {};
+  sa.sa_handler = eintr_noop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_sa = {};
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval timer = {};
+  timer.it_interval.tv_usec = 1000;
+  timer.it_value.tv_usec = 1000;
+  itimerval old_timer = {};
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, &old_timer), 0);
+
+  auto [coord, worker] = FrameChannel::open_pair();
+  const int small = 4096;
+  setsockopt(coord.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  setsockopt(worker.fd(), SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  const std::vector<std::uint8_t> payload = patterned_payload(1 << 22);
+  std::thread sender(
+      [&coord = coord, &payload] { coord.send(FrameType::kStep, payload); });
+  Frame f;
+  const bool got = worker.recv(&f);
+  sender.join();
+
+  itimerval off = {};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old_sa, nullptr);
+
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.type, FrameType::kStep);
+  EXPECT_EQ(f.payload, payload);
+}
+
+// --- halo plane --------------------------------------------------------------
+
+TEST(HaloPlane, SeqlockEpochOrdersRecordsAcrossThreads) {
+  // Writer publishes 64 rounds of records through the double-buffered
+  // slabs; the reader learns of each publish only through the epoch stamp's
+  // release/acquire pair (it spins on open() until the stamp appears).
+  // Under TSan this pins that the record bytes are ordered by the epoch
+  // stamp alone. The writer waits for consumption before reusing a parity
+  // buffer, mirroring the runner's gather-all-barriers-then-release rule.
+  const Graph g = random_regular(64, 4, 1);
+  const ShardManifest mf = ShardManifest::build(g, 2);
+  HaloPlane plane(mf, g.num_nodes(), 1 << 16);
+  ASSERT_TRUE(plane.valid());
+  constexpr std::size_t kRecord = 12;
+  constexpr int kRounds = 64;
+  const auto epoch_of = [](int round) {
+    return (std::uint64_t{1} << 32) | static_cast<std::uint32_t>(round);
+  };
+  ASSERT_GE(plane.slab_capacity(0), kRecord);
+
+  std::atomic<int> consumed{-1};
+  std::thread writer([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      while (consumed.load(std::memory_order_acquire) < r - 1)
+        std::this_thread::yield();
+      std::uint8_t* slab = plane.slab_records(0, r & 1);
+      for (std::size_t i = 0; i < kRecord; ++i)
+        slab[i] = static_cast<std::uint8_t>(r + static_cast<int>(i));
+      plane.publish(0, r & 1, epoch_of(r), 1);
+    }
+  });
+  for (int r = 0; r < kRounds; ++r) {
+    HaloPlane::SlabView view;
+    for (;;) {
+      try {
+        view = plane.open(0, r & 1, epoch_of(r), kRecord);
+        break;
+      } catch (const TransportError&) {
+        std::this_thread::yield();  // not published yet
+      }
+    }
+    ASSERT_EQ(view.count, 1u);
+    for (std::size_t i = 0; i < kRecord; ++i)
+      ASSERT_EQ(view.records[i],
+                static_cast<std::uint8_t>(r + static_cast<int>(i)))
+          << "round " << r << " byte " << i;
+    consumed.store(r, std::memory_order_release);
+  }
+  writer.join();
+}
+
+TEST(HaloPlane, TornSlabsAreStructuredTransportErrors) {
+  const Graph g = random_regular(64, 4, 1);
+  const ShardManifest mf = ShardManifest::build(g, 2);
+  HaloPlane plane(mf, g.num_nodes(), 1 << 16);
+  constexpr std::size_t kRecord = 12;
+  // Unpublished slab: epoch 0 never matches a real stage epoch (stage ids
+  // start at 1), so open() reports a mismatch.
+  EXPECT_THROW(plane.open(0, 0, (std::uint64_t{1} << 32) | 0, kRecord),
+               TransportError);
+  // A count whose byte size exceeds the slab capacity (torn or corrupt
+  // publish) must surface as a bounds error before any record is read.
+  const std::uint32_t oversized = static_cast<std::uint32_t>(
+      plane.slab_capacity(0) / kRecord + 1);
+  plane.publish(0, 0, (std::uint64_t{2} << 32) | 0, oversized);
+  EXPECT_THROW(plane.open(0, 0, (std::uint64_t{2} << 32) | 0, kRecord),
+               TransportError);
+  // Same slab, corrected count: opens cleanly.
+  plane.publish(0, 0, (std::uint64_t{3} << 32) | 0, 1);
+  EXPECT_NO_THROW(plane.open(0, 0, (std::uint64_t{3} << 32) | 0, kRecord));
 }
 
 // --- golden parity -----------------------------------------------------------
@@ -183,6 +354,46 @@ TEST(ShardBackend, UnpreparedGraphFallsBackInProcess) {
   EXPECT_EQ(res.ledger.total(), baseline.ledger.total());
   EXPECT_EQ(backend.totals().stages, 0u);
   EXPECT_GT(backend.totals().fallback_stages, 0u);
+}
+
+TEST(ShardBackend, PersistentPoolForksOncePerShardAcrossStages) {
+  // The tentpole accounting contract: a persistent backend forks exactly
+  // `shards` workers at prepare() no matter how many stages it dispatches
+  // (stage_reuse == stages), while the fork-per-stage baseline pays
+  // shards x stages forks.
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+
+  ProcShardedBackend persistent(2);
+  persistent.prepare(g);
+  AlgorithmRequest preq = req;
+  preq.engine.backend = &persistent;
+  EXPECT_TRUE(bench::run_registered("trial", g, preq).ok);
+  EXPECT_TRUE(bench::run_registered("mis", g, preq).ok);
+  const ProcShardedBackend::Totals pt = persistent.totals();
+  EXPECT_GE(pt.stages, 2u);
+  EXPECT_EQ(pt.forks, 2u);
+  EXPECT_EQ(pt.stage_reuse, pt.stages);
+  EXPECT_GT(pt.shm_bytes, 0u);
+
+  ProcShardedBackend forked(2, /*persistent=*/false);
+  forked.prepare(g);
+  AlgorithmRequest freq = req;
+  freq.engine.backend = &forked;
+  EXPECT_TRUE(bench::run_registered("trial", g, freq).ok);
+  EXPECT_TRUE(bench::run_registered("mis", g, freq).ok);
+  const ProcShardedBackend::Totals ft = forked.totals();
+  EXPECT_EQ(ft.stages, pt.stages);
+  EXPECT_EQ(ft.forks, 2u * ft.stages);
+  EXPECT_EQ(ft.stage_reuse, 0u);
+  // The SHARDS report carries the new columns for CI's forks-per-cell
+  // assertion.
+  const std::string report = persistent.report();
+  EXPECT_NE(report.find(" forks=2 "), std::string::npos) << report;
+  EXPECT_NE(report.find(" stage_reuse="), std::string::npos) << report;
+  EXPECT_NE(report.find(" shm_bytes="), std::string::npos) << report;
 }
 
 // --- worker death ------------------------------------------------------------

@@ -100,7 +100,8 @@ int usage() {
          "workers, 0 = auto; env DELTACOLOR_THREADS), --frontier (sparse "
          "activation), --backend=inproc|proc (proc = multi-process sharded "
          "execution with halo exchange; bit-identical results), --shards=N "
-         "(proc backend: worker processes, default 2), "
+         "(proc backend: worker processes, default 2, 0 = one per hardware "
+         "core), "
          "--repeat=N (color: N seeds as sweep cells, "
          "aggregate stats), --validate=off|end|phase (oracle mode: check "
          "the final coloring / every pipeline phase boundary), --retries=N "
@@ -545,11 +546,18 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
     } else if (arg.rfind("--shards=", 0) == 0) {
-      g_shards = std::atoi(arg.c_str() + 9);
-      if (g_shards < 1) {
-        std::cerr << "dcolor: invalid " << arg << " (need at least 1)\n";
+      const int n = std::atoi(arg.c_str() + 9);
+      if (n < 0) {
+        std::cerr << "dcolor: invalid " << arg
+                  << " (need at least 1, or 0 = auto)\n";
         return kExitUsage;
       }
+      // 0 = auto, mirroring --threads=0: one shard per hardware core. The
+      // resolved count is printed in the startup provenance line.
+      g_shards = n > 0 ? n
+                       : std::max(
+                             1, static_cast<int>(
+                                    std::thread::hardware_concurrency()));
     } else if (arg.rfind("--repeat=", 0) == 0) {
       g_repeat = std::atoi(arg.c_str() + 9);
       if (g_repeat < 1) {
