@@ -55,6 +55,22 @@ ShardManifest ShardManifest::build(const Graph& g, int shards) {
     std::sort(ghosts.begin(), ghosts.end());
     ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
   }
+  // Interior runs: the gaps of [lo, hi) between consecutive boundary nodes.
+  m.interior_runs.resize(parts);
+  for (std::size_t s = 0; s < parts; ++s) {
+    const std::size_t lo = m.bounds[s];
+    const std::size_t hi = m.bounds[s + 1];
+    auto& runs = m.interior_runs[s];
+    std::size_t next = lo;
+    for (const NodeId b : m.boundary[s]) {
+      if (static_cast<std::size_t>(b) > next)
+        runs.push_back(NodeRun{static_cast<NodeId>(next), b});
+      next = static_cast<std::size_t>(b) + 1;
+    }
+    if (hi > next)
+      runs.push_back(
+          NodeRun{static_cast<NodeId>(next), static_cast<NodeId>(hi)});
+  }
   // Ghost runs: sorted ghosts + contiguous ascending ownership ranges mean
   // one walk per shard splits the list into at most one run per peer.
   m.ghost_runs.resize(parts);
@@ -77,6 +93,28 @@ ShardManifest ShardManifest::build(const Graph& g, int shards) {
   for (const std::uint64_t e : m.boundary_edges) incident += e;
   m.cut_edges = incident / 2;  // every cut edge is incident to two shards
   return m;
+}
+
+int effective_shard_count(const Graph& g, int requested) {
+  DC_CHECK(requested >= 1);
+  const std::size_t n = g.num_nodes();
+  int k = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(requested),
+                            std::max<std::size_t>(n, 1)));
+  // Degree-balanced bounds can still leave trailing parts empty when a few
+  // heavy nodes absorb the whole weight budget; shrink to the non-empty
+  // count and re-balance until stable (k strictly decreases, so this
+  // terminates in <= requested iterations).
+  for (;;) {
+    const auto bounds = degree_balanced_bounds(g, k);
+    int nonempty = 0;
+    for (int p = 0; p < k; ++p)
+      if (bounds[static_cast<std::size_t>(p) + 1] >
+          bounds[static_cast<std::size_t>(p)])
+        ++nonempty;
+    if (nonempty == k || nonempty == 0) return k;
+    k = nonempty;
+  }
 }
 
 }  // namespace deltacolor

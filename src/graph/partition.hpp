@@ -68,6 +68,15 @@ std::vector<std::size_t> degree_balanced_bounds(const GraphT& g, int parts,
   return bounds;
 }
 
+/// A maximal contiguous range of nodes, [begin, end). ShardManifest uses
+/// runs to describe each shard's interior (owned nodes with no off-shard
+/// neighbor) so workers can schedule boundary nodes first and sweep the
+/// interior as a handful of dense ranges afterwards.
+struct NodeRun {
+  NodeId begin = 0;
+  NodeId end = 0;
+};
+
 /// A maximal run of one shard's ghost list owned by a single peer shard:
 /// ghosts[s][begin..end) all live in `peer`'s contiguous ownership range.
 /// Because ownership ranges are contiguous and ascending, a sorted ghost
@@ -87,6 +96,12 @@ struct ShardManifest {
   std::vector<std::size_t> bounds;
   /// Per shard: owned nodes with an off-shard neighbor, ascending.
   std::vector<std::vector<NodeId>> boundary;
+  /// Per shard: maximal contiguous runs of owned non-boundary nodes,
+  /// ascending and disjoint. boundary[s] and interior_runs[s] together
+  /// cover exactly [bounds[s], bounds[s+1]) — the boundary-first schedule:
+  /// a worker steps boundary[s], publishes its halo slab, then sweeps the
+  /// interior runs while peers already consume the slab.
+  std::vector<std::vector<NodeRun>> interior_runs;
   /// Per shard: off-shard nodes read by this shard, ascending, unique.
   std::vector<std::vector<NodeId>> ghosts;
   /// Per shard: ghosts[s] partitioned into per-owner runs, ascending by
@@ -114,5 +129,11 @@ struct ShardManifest {
   /// Builds the manifest for `shards` degree-balanced contiguous ranges.
   static ShardManifest build(const Graph& g, int shards);
 };
+
+/// Largest shard count <= `requested` for which every shard owns at least
+/// one node of `g` under degree-balanced bounds. Forking workers for empty
+/// shards wastes processes and skews accounting, so callers clamp before
+/// building a manifest. Always >= 1 (an empty graph still gets one shard).
+int effective_shard_count(const Graph& g, int requested);
 
 }  // namespace deltacolor

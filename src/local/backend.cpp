@@ -1,5 +1,9 @@
 #include "local/backend.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -12,21 +16,69 @@ namespace deltacolor {
 ShardPlan::ShardPlan() = default;
 ShardPlan::~ShardPlan() = default;
 
-ProcShardedBackend::ProcShardedBackend(int shards, bool persistent)
-    : shards_(shards), persistent_(persistent) {
+BarrierMode resolve_barrier_mode(BarrierMode mode) {
+  if (mode != BarrierMode::kAuto) return mode;
+  const char* env = std::getenv("DELTACOLOR_BARRIER");
+  if (env != nullptr && std::strcmp(env, "frames") == 0)
+    return BarrierMode::kFrames;
+  return BarrierMode::kShm;
+}
+
+const char* barrier_mode_name(BarrierMode mode) {
+  switch (mode) {
+    case BarrierMode::kShm:
+      return "shm";
+    case BarrierMode::kFrames:
+      return "frames";
+    case BarrierMode::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+ProcShardedBackend::ProcShardedBackend(int shards, bool persistent,
+                                       BarrierMode barrier)
+    : shards_(shards),
+      persistent_(persistent),
+      barrier_(resolve_barrier_mode(barrier)) {
   DC_CHECK_MSG(shards >= 1, "ProcShardedBackend needs at least one shard");
   totals_.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
   totals_.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
+  totals_.barrier_wait_ns.resize(static_cast<std::size_t>(shards));
+  totals_.halo_publish_ns.resize(static_cast<std::size_t>(shards));
 }
 
 void ProcShardedBackend::prepare(const Graph& g) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& plan : plans_)
     if (plan->graph == &g) return;
+  // Forking a worker for a shard that owns zero nodes buys nothing and
+  // skews the accounting, so clamp to the largest count with no empty
+  // shard — with a startup warning so `--shards=N` users see why fewer
+  // workers appear.
+  const int effective = effective_shard_count(g, shards_);
+  if (effective < shards_)
+    std::cerr << "deltacolor: clamping shards " << shards_ << " -> "
+              << effective << " (graph of " << g.num_nodes()
+              << " nodes leaves " << (shards_ - effective)
+              << " shard(s) empty)\n";
+  if (totals_.effective_shards == 0 || effective > totals_.effective_shards)
+    totals_.effective_shards = effective;
+  // Per-shard accounting follows the shards that actually exist: a clamped
+  // prepare shrinks the vectors so reports and tests never show phantom
+  // rows for never-forked workers. (Widest plan wins when several graphs
+  // are prepared; per-stage stats index by the stage's own manifest.)
+  if (static_cast<int>(totals_.ghost_bytes_in.size()) > effective &&
+      totals_.effective_shards == effective) {
+    totals_.ghost_bytes_in.resize(static_cast<std::size_t>(effective));
+    totals_.boundary_bytes_out.resize(static_cast<std::size_t>(effective));
+    totals_.barrier_wait_ns.resize(static_cast<std::size_t>(effective));
+    totals_.halo_publish_ns.resize(static_cast<std::size_t>(effective));
+  }
   auto plan = std::make_unique<ShardPlan>();
   plan->graph = &g;
-  plan->manifest = ShardManifest::build(g, shards_);
-  plan->pool = std::make_unique<ShardWorkerPool>(*plan, persistent_);
+  plan->manifest = ShardManifest::build(g, effective);
+  plan->pool = std::make_unique<ShardWorkerPool>(*plan, persistent_, barrier_);
   // Fork before any stage state exists: the workers' inherited image is
   // just the graph + manifest, and everything per-stage arrives by wire or
   // through the shared plane.
@@ -49,18 +101,54 @@ const ShardPlan* ProcShardedBackend::find_plan(const Graph& g) {
   return nullptr;
 }
 
+namespace {
+
+// Keeps a sample reservoir bounded across long sweeps: once past the cap,
+// halve by keeping every other sample. Deterministic (no RNG), preserves
+// the distribution shape well enough for p50/p95 reporting.
+constexpr std::size_t kSampleCap = 16384;
+
+void append_samples(std::vector<std::uint32_t>* into,
+                    const std::vector<std::uint32_t>& samples) {
+  into->insert(into->end(), samples.begin(), samples.end());
+  while (into->size() > kSampleCap) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < into->size(); r += 2) (*into)[w++] = (*into)[r];
+    into->resize(w);
+  }
+}
+
+std::uint32_t percentile(std::vector<std::uint32_t> samples, double p) {
+  if (samples.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+  return samples[idx];
+}
+
+}  // namespace
+
 void ProcShardedBackend::note_stage(const ShardPlan& plan,
                                     const ShardStageStats& stats) {
   (void)plan;
   std::lock_guard<std::mutex> lock(mu_);
   ++totals_.stages;
   totals_.rounds += static_cast<std::uint64_t>(stats.rounds);
+  totals_.ctl_frames += stats.ctl_frames;
   for (std::size_t s = 0; s < stats.ghost_bytes_in.size() &&
                           s < totals_.ghost_bytes_in.size();
        ++s) {
     totals_.ghost_bytes_in[s] += stats.ghost_bytes_in[s];
     totals_.boundary_bytes_out[s] += stats.boundary_bytes_out[s];
   }
+  for (std::size_t s = 0; s < stats.barrier_wait_ns.size() &&
+                          s < totals_.barrier_wait_ns.size();
+       ++s)
+    append_samples(&totals_.barrier_wait_ns[s], stats.barrier_wait_ns[s]);
+  for (std::size_t s = 0; s < stats.halo_publish_ns.size() &&
+                          s < totals_.halo_publish_ns.size();
+       ++s)
+    append_samples(&totals_.halo_publish_ns[s], stats.halo_publish_ns[s]);
 }
 
 void ProcShardedBackend::note_fallback() {
@@ -87,7 +175,10 @@ std::string ProcShardedBackend::report() const {
   std::ostringstream os;
   const ShardManifest* mf =
       plans_.empty() ? nullptr : &plans_.front()->manifest;
-  for (int s = 0; s < shards_; ++s) {
+  // Clamping can leave the manifest narrower than the requested shard
+  // count; report the shards that actually exist.
+  const int rows = mf != nullptr ? mf->num_shards() : shards_;
+  for (int s = 0; s < rows; ++s) {
     const std::size_t i = static_cast<std::size_t>(s);
     os << "SHARDS shard=" << s;
     if (mf != nullptr) {
@@ -101,12 +192,19 @@ std::string ProcShardedBackend::report() const {
     os << " ghost_bytes_in=" << in << " boundary_bytes_out=" << out;
     if (t.rounds > 0)
       os << " ghost_bytes_per_round=" << in / t.rounds;
+    os << " barrier_wait_ns_p50=" << percentile(t.barrier_wait_ns[i], 0.50)
+       << " barrier_wait_ns_p95=" << percentile(t.barrier_wait_ns[i], 0.95)
+       << " halo_publish_ns_p50=" << percentile(t.halo_publish_ns[i], 0.50)
+       << " halo_publish_ns_p95=" << percentile(t.halo_publish_ns[i], 0.95);
     os << "\n";
   }
-  os << "SHARDS total shards=" << shards_ << " stages=" << t.stages
+  os << "SHARDS total shards=" << rows << " stages=" << t.stages
      << " fallback_stages=" << t.fallback_stages << " rounds=" << t.rounds
      << " forks=" << t.forks << " stage_reuse=" << t.stage_reuse
-     << " shm_bytes=" << t.shm_bytes;
+     << " shm_bytes=" << t.shm_bytes
+     << " barrier=" << barrier_mode_name(barrier_)
+     << " ctl_frames=" << t.ctl_frames << " ctl_frames_per_round="
+     << (t.rounds > 0 ? t.ctl_frames / t.rounds : 0);
   if (mf != nullptr) os << " cut_edges=" << mf->cut_edges;
   return os.str();
 }

@@ -44,6 +44,19 @@ namespace deltacolor {
 
 class ShardWorkerPool;
 
+/// How sharded stages synchronize at round barriers.
+enum class BarrierMode {
+  kAuto,    ///< resolve from DELTACOLOR_BARRIER ("frames"), default kShm
+  kShm,     ///< peer-to-peer shared-memory epoch barrier (syscall-free)
+  kFrames,  ///< coordinator BARRIER/STEP socketpair frames (PR 8 baseline,
+            ///< the escape hatch for stuck-barrier diagnosis)
+};
+
+/// kAuto -> the DELTACOLOR_BARRIER environment variable ("frames" picks the
+/// frame barrier, anything else the shm barrier); other values pass through.
+BarrierMode resolve_barrier_mode(BarrierMode mode);
+const char* barrier_mode_name(BarrierMode mode);
+
 /// A prepared shard split of one host graph, plus its live worker pool:
 /// prepare() forks the pool's workers once, and every sharded stage on the
 /// graph is dispatched to them (shard_runner.hpp). Address-stable — pool
@@ -67,6 +80,14 @@ struct ShardStageStats {
   std::vector<std::uint64_t> ghost_bytes_in;
   /// Per shard: bytes of changed-boundary records the shard published.
   std::vector<std::uint64_t> boundary_bytes_out;
+  /// Per shard: worker-measured per-round samples (ns) of time spent
+  /// waiting at the round barrier / publishing the halo slab.
+  std::vector<std::vector<std::uint32_t>> barrier_wait_ns;
+  std::vector<std::vector<std::uint32_t>> halo_publish_ns;
+  /// Control-plane frames the coordinator sent + received for this stage —
+  /// the syscall proxy of the frames-vs-shm barrier A/B (the frame barrier
+  /// adds 2 frames per shard per round; the shm barrier adds none).
+  std::uint64_t ctl_frames = 0;
 };
 
 class ExecutionBackend {
@@ -113,10 +134,14 @@ class ProcShardedBackend : public ExecutionBackend {
   /// `persistent` = fork the pool once at prepare() and reuse it across
   /// stages (the default); false forks per dispatched stage — the PR 7
   /// baseline, kept selectable for the bench_shard A/B comparison.
-  explicit ProcShardedBackend(int shards, bool persistent = true);
+  /// `barrier` picks the round-barrier protocol (kAuto resolves the
+  /// DELTACOLOR_BARRIER environment variable at construction).
+  explicit ProcShardedBackend(int shards, bool persistent = true,
+                              BarrierMode barrier = BarrierMode::kAuto);
 
   const char* name() const override { return "proc"; }
   int shards() const { return shards_; }
+  BarrierMode barrier_mode() const { return barrier_; }
 
   /// Builds (once) and caches the shard manifest for `g`, maps the shared
   /// halo plane, and — for persistent backends — forks the worker pool.
@@ -138,8 +163,15 @@ class ProcShardedBackend : public ExecutionBackend {
     std::uint64_t forks = 0;        ///< worker processes ever forked
     std::uint64_t stage_reuse = 0;  ///< dispatches served by a live pool
     std::uint64_t shm_bytes = 0;    ///< mapped halo-plane bytes
+    std::uint64_t ctl_frames = 0;   ///< control-plane frames across stages
+    int effective_shards = 0;  ///< shard count after empty-shard clamping
+                               ///< (0 until the first prepare())
     std::vector<std::uint64_t> ghost_bytes_in;      // per shard
     std::vector<std::uint64_t> boundary_bytes_out;  // per shard
+    /// Per shard: retained per-round timing samples (ns), decimated by
+    /// stride once they exceed a cap so long sweeps stay bounded.
+    std::vector<std::vector<std::uint32_t>> barrier_wait_ns;
+    std::vector<std::vector<std::uint32_t>> halo_publish_ns;
   };
   Totals totals() const;
 
@@ -153,6 +185,7 @@ class ProcShardedBackend : public ExecutionBackend {
  private:
   const int shards_;
   const bool persistent_;
+  const BarrierMode barrier_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ShardPlan>> plans_;
   Totals totals_;

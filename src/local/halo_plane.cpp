@@ -1,6 +1,13 @@
 #include "local/halo_plane.hpp"
 
 #include <sys/mman.h>
+#include <time.h>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 #include <cstring>
 #include <new>
@@ -33,6 +40,8 @@ HaloPlane::HaloPlane(const ShardManifest& mf, std::size_t num_nodes,
   std::size_t off = 0;
   finals_off_ = off;
   off += parts * sizeof(FinalCell);
+  barrier_off_ = off;
+  off += parts * sizeof(BarrierCell) + sizeof(BarrierSeq);
   slab_offs_.resize(parts * 2);
   slab_caps_.resize(parts);
   for (std::size_t s = 0; s < parts; ++s) {
@@ -64,9 +73,11 @@ HaloPlane::HaloPlane(const ShardManifest& mf, std::size_t num_nodes,
   // every later cross-process load/store is on a live object.
   for (int s = 0; s < num_shards_; ++s) {
     new (final_cell(s)) FinalCell{};
+    new (barrier_cell(s)) BarrierCell{};
     new (hdr(s, 0)) SlabHdr{};
     new (hdr(s, 1)) SlabHdr{};
   }
+  new (barrier_word()) BarrierSeq{};
 }
 
 HaloPlane::HaloPlane(HaloPlane&& other) noexcept { *this = std::move(other); }
@@ -78,6 +89,7 @@ HaloPlane& HaloPlane::operator=(HaloPlane&& other) noexcept {
   total_bytes_ = std::exchange(other.total_bytes_, 0);
   num_shards_ = std::exchange(other.num_shards_, 0);
   finals_off_ = other.finals_off_;
+  barrier_off_ = other.barrier_off_;
   slab_offs_ = std::move(other.slab_offs_);
   slab_caps_ = std::move(other.slab_caps_);
   state_off_ = other.state_off_;
@@ -100,6 +112,16 @@ HaloPlane::SlabHdr* HaloPlane::hdr(int shard, int parity) const {
 
 HaloPlane::FinalCell* HaloPlane::final_cell(int shard) const {
   return reinterpret_cast<FinalCell*>(base_ + finals_off_) + shard;
+}
+
+HaloPlane::BarrierCell* HaloPlane::barrier_cell(int shard) const {
+  return reinterpret_cast<BarrierCell*>(base_ + barrier_off_) + shard;
+}
+
+HaloPlane::BarrierSeq* HaloPlane::barrier_word() const {
+  return reinterpret_cast<BarrierSeq*>(
+      base_ + barrier_off_ +
+      static_cast<std::size_t>(num_shards_) * sizeof(BarrierCell));
 }
 
 std::uint8_t* HaloPlane::slab_records(int shard, int parity) {
@@ -132,6 +154,71 @@ HaloPlane::SlabView HaloPlane::open(int shard, int parity,
                          " records past its capacity");
   return SlabView{
       reinterpret_cast<const std::uint8_t*>(h) + sizeof(SlabHdr), count};
+}
+
+bool HaloPlane::try_open(int shard, int parity, std::uint64_t epoch,
+                         std::size_t record_size, SlabView* out) const {
+  const SlabHdr* h = hdr(shard, parity);
+  if (h->epoch.load(std::memory_order_acquire) != epoch) return false;
+  const std::uint32_t count = h->count;
+  if (static_cast<std::size_t>(count) * record_size >
+      slab_caps_[static_cast<std::size_t>(shard)])
+    throw TransportError("halo slab shard=" + std::to_string(shard) +
+                         " publishes " + std::to_string(count) +
+                         " records past its capacity");
+  *out = SlabView{reinterpret_cast<const std::uint8_t*>(h) + sizeof(SlabHdr),
+                  count};
+  return true;
+}
+
+void HaloPlane::barrier_arrive(int shard, std::uint64_t value) {
+  barrier_cell(shard)->value.store(value, std::memory_order_release);
+  // The release fetch_add orders the cell store before the word bump: a
+  // waiter that acquire-loads the bumped word before scanning is guaranteed
+  // to observe the arrival, so a futex sleep against the pre-bump value can
+  // never miss the last arrival (and every arrival wakes all sleepers).
+  BarrierSeq* w = barrier_word();
+  w->seq.fetch_add(1, std::memory_order_seq_cst);
+#if defined(__linux__)
+  // seq_cst on the bump and the waiters load keeps them ordered against
+  // the sleeper's (waiters increment, kernel seq re-check) pair: either
+  // this load sees the sleeper and wakes it, or the sleeper's kernel-side
+  // seq check sees the bump and never sleeps.
+  if (w->waiters.load(std::memory_order_seq_cst) != 0)
+    ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&w->seq),
+              FUTEX_WAKE, INT32_MAX, nullptr, nullptr, 0);
+#endif
+}
+
+std::uint64_t HaloPlane::barrier_raw(int shard) const {
+  return barrier_cell(shard)->value.load(std::memory_order_acquire);
+}
+
+std::uint32_t HaloPlane::barrier_seq() const {
+  return barrier_word()->seq.load(std::memory_order_acquire);
+}
+
+void HaloPlane::barrier_block(std::uint32_t seen) const {
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free &&
+                    sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t),
+                "futex word must alias the atomic's storage");
+#if defined(__linux__)
+  // Bounded wait so a worker whose peers all died (or whose coordinator
+  // vanished) resurfaces to re-check liveness instead of sleeping forever.
+  // FUTEX_WAIT (not _PRIVATE): the word is shared across processes. The
+  // waiters increment must precede the wait (see barrier_arrive's wake
+  // gate); the kernel's atomic seq-vs-`seen` check closes the race.
+  BarrierSeq* w = barrier_word();
+  w->waiters.fetch_add(1, std::memory_order_seq_cst);
+  struct timespec timeout = {0, 50 * 1000 * 1000};
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&w->seq), FUTEX_WAIT,
+            seen, &timeout, nullptr, 0);
+  w->waiters.fetch_sub(1, std::memory_order_seq_cst);
+#else
+  (void)seen;
+  struct timespec nap = {0, 1 * 1000 * 1000};
+  ::nanosleep(&nap, nullptr);
+#endif
 }
 
 void HaloPlane::publish_final(int shard, std::uint64_t epoch) {

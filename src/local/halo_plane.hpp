@@ -15,6 +15,13 @@
 //
 //   finals    per shard, one cache line holding an atomic<u64> epoch the
 //             worker stamps after writing its final state slice;
+//   barrier   per shard, one cache line holding an atomic<u64> the worker
+//             release-stores on arriving at a round barrier (stage_id <<
+//             32 | round, plus a done-vote bit), followed by one shared
+//             futex word bumped on every arrival so waiting peers can
+//             sleep instead of spinning — the peer-to-peer round barrier
+//             that replaces the coordinator BARRIER/STEP frame round-trip
+//             (shard_runner.hpp has the wait protocol);
 //   slabs     per (shard, parity) — parity = round & 1, double buffering —
 //             a header line {atomic<u64> epoch, u32 count} plus room for
 //             every boundary node of that shard as a (u32 node, state
@@ -59,6 +66,13 @@ namespace deltacolor {
 /// the library is <= 16 bytes today).
 inline constexpr std::size_t kMaxShardStateBytes = 64;
 
+/// Bit 63 of a barrier-cell value: the arriving worker's done vote for the
+/// round it arrives at. The low 63 bits are the slab epoch encoding
+/// (stage_id << 32 | round), so masked values are globally monotonic per
+/// cell — stage ids only grow across a pool's lifetime, and round grows
+/// within a stage — and a new stage never needs the cells reset.
+inline constexpr std::uint64_t kBarrierDoneBit = 1ull << 63;
+
 class HaloPlane {
  public:
   HaloPlane() = default;
@@ -95,6 +109,29 @@ class HaloPlane {
   /// capacity (a torn or misordered publish).
   SlabView open(int shard, int parity, std::uint64_t epoch,
                 std::size_t record_size) const;
+  /// Like open(), but an epoch mismatch returns false instead of throwing
+  /// (the slab simply is not published yet — eager readers retry later). A
+  /// count past the slab capacity at a *matching* epoch still throws.
+  bool try_open(int shard, int parity, std::uint64_t epoch,
+                std::size_t record_size, SlabView* out) const;
+
+  // --- peer-to-peer round barrier ------------------------------------------
+  /// Worker: record arrival at a barrier. `value` is the barrier epoch
+  /// (stage_id << 32 | round) optionally OR'd with kBarrierDoneBit — the
+  /// arriving shard's done vote. Release-stores the cell, bumps the plane's
+  /// futex word and wakes every sleeper, so a peer either observes the cell
+  /// during its next scan or wakes out of barrier_block().
+  void barrier_arrive(int shard, std::uint64_t value);
+  /// Acquire-load of shard `s`'s barrier cell (0 before any arrival).
+  std::uint64_t barrier_raw(int shard) const;
+  /// Acquire-load of the futex sequence word. Snapshot it *before* scanning
+  /// the cells; if the scan comes up short, barrier_block(seq) sleeps only
+  /// while no further arrival has bumped the word.
+  std::uint32_t barrier_seq() const;
+  /// Sleep until the futex word differs from `seen` or ~50 ms elapse
+  /// (whichever first). Spurious returns are fine — callers rescan. On
+  /// non-Linux builds this degrades to a short nanosleep.
+  void barrier_block(std::uint32_t seen) const;
 
   // --- packed state image --------------------------------------------------
   std::uint8_t* state_bytes() { return base_ + state_off_; }
@@ -123,14 +160,30 @@ class HaloPlane {
   struct alignas(64) FinalCell {
     std::atomic<std::uint64_t> epoch;
   };
+  struct alignas(64) BarrierCell {
+    std::atomic<std::uint64_t> value;
+  };
+  struct alignas(64) BarrierSeq {
+    std::atomic<std::uint32_t> seq;
+    /// Sleepers currently inside barrier_block: arrivals skip the
+    /// FUTEX_WAKE syscall while this is zero (the common case when peers
+    /// are spinning or about to scan). No lost wakeup: a sleeper
+    /// increments this before FUTEX_WAIT, and the kernel re-checks `seq`
+    /// against the sleeper's snapshot atomically — an arrival that missed
+    /// the increment already bumped `seq`, so the wait returns instantly.
+    std::atomic<std::uint32_t> waiters;
+  };
 
   SlabHdr* hdr(int shard, int parity) const;
   FinalCell* final_cell(int shard) const;
+  BarrierCell* barrier_cell(int shard) const;
+  BarrierSeq* barrier_word() const;
 
   std::uint8_t* base_ = nullptr;
   std::size_t total_bytes_ = 0;
   int num_shards_ = 0;
   std::size_t finals_off_ = 0;
+  std::size_t barrier_off_ = 0;  // num_shards_ BarrierCells, then BarrierSeq
   std::vector<std::size_t> slab_offs_;  // per (shard * 2 + parity): header
   std::vector<std::size_t> slab_caps_;  // per shard: record bytes capacity
   std::size_t state_off_ = 0;

@@ -1,5 +1,6 @@
 #include "local/shard_runner.hpp"
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -30,7 +31,7 @@ void put_raw(const T& v, std::vector<std::uint8_t>* out) {
 /// coordinator's stage would have seen.
 std::vector<std::uint8_t> encode_stage_begin(const StageWire& wire,
                                              std::uint64_t stage_id,
-                                             int max_rounds) {
+                                             int max_rounds, bool frames) {
   std::vector<std::uint8_t> out;
   put_raw<std::uint64_t>(
       reinterpret_cast<std::uint64_t>(
@@ -43,6 +44,7 @@ std::vector<std::uint8_t> encode_stage_begin(const StageWire& wire,
                          &out);
   put_raw<std::uint32_t>(static_cast<std::uint32_t>(wire.done_bytes.size()),
                          &out);
+  put_raw<std::uint8_t>(frames ? 1 : 0, &out);
   encode_fault_wire(snapshot_fault_wire(), &out);
   out.insert(out.end(), wire.step_bytes.begin(), wire.step_bytes.end());
   out.insert(out.end(), wire.done_bytes.begin(), wire.done_bytes.end());
@@ -51,9 +53,57 @@ std::vector<std::uint8_t> encode_stage_begin(const StageWire& wire,
 
 }  // namespace
 
-ShardWorkerPool::ShardWorkerPool(const ShardPlan& plan, bool persistent)
+std::vector<std::uint8_t> encode_stage_end(const WorkerStageEnd& e) {
+  std::vector<std::uint8_t> out;
+  put_raw<std::uint32_t>(e.rounds, &out);
+  put_raw<std::uint64_t>(e.published, &out);
+  put_raw<std::uint64_t>(e.applied, &out);
+  put_raw<std::uint32_t>(static_cast<std::uint32_t>(e.barrier_wait_ns.size()),
+                         &out);
+  put_raw<std::uint32_t>(static_cast<std::uint32_t>(e.publish_ns.size()),
+                         &out);
+  for (const std::uint32_t v : e.barrier_wait_ns) put_raw(v, &out);
+  for (const std::uint32_t v : e.publish_ns) put_raw(v, &out);
+  return out;
+}
+
+bool decode_stage_end(const std::uint8_t* p, std::size_t size,
+                      WorkerStageEnd* out) {
+  const auto take = [&](void* dst, std::size_t nbytes) {
+    if (size < nbytes) return false;
+    std::memcpy(dst, p, nbytes);
+    p += nbytes;
+    size -= nbytes;
+    return true;
+  };
+  std::uint32_t nwait = 0;
+  std::uint32_t npub = 0;
+  if (!take(&out->rounds, 4) || !take(&out->published, 8) ||
+      !take(&out->applied, 8) || !take(&nwait, 4) || !take(&npub, 4))
+    return false;
+  if (size != (static_cast<std::size_t>(nwait) + npub) * 4) return false;
+  out->barrier_wait_ns.resize(nwait);
+  out->publish_ns.resize(npub);
+  for (std::uint32_t i = 0; i < nwait; ++i)
+    take(&out->barrier_wait_ns[i], 4);
+  for (std::uint32_t i = 0; i < npub; ++i) take(&out->publish_ns[i], 4);
+  return true;
+}
+
+bool control_channel_dead(const FrameChannel& ch) {
+  struct pollfd pfd = {ch.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, 0);
+  if (rc < 0) return errno != EINTR && errno != EAGAIN;
+  // Mid-stage, the coordinator sends nothing in shm mode until teardown —
+  // so readable data (kShutdown) and HUP/ERR alike mean "stage is over".
+  return rc > 0 && pfd.revents != 0;
+}
+
+ShardWorkerPool::ShardWorkerPool(const ShardPlan& plan, bool persistent,
+                                 BarrierMode barrier)
     : plan_(plan),
       persistent_(persistent),
+      barrier_(resolve_barrier_mode(barrier)),
       plane_(plan.manifest, plan.graph->num_nodes(),
              /*aux_capacity=*/16 * plan.graph->num_nodes() +
                  32 * plan.graph->num_edges() + (1u << 20)) {
@@ -167,9 +217,18 @@ ShardWorkerPool::StageResult ShardWorkerPool::run_stage(
 
   const std::uint64_t stage_id = next_stage_id_++;
   std::memcpy(plane_.state_bytes(), states, state_bytes);
+  const bool frames = barrier_ == BarrierMode::kFrames;
   const std::vector<std::uint8_t> begin =
-      encode_stage_begin(wire, stage_id, max_rounds);
+      encode_stage_begin(wire, stage_id, max_rounds, frames);
   StageResult res;
+  res.stats.ghost_bytes_in.assign(
+      static_cast<std::size_t>(plan_.manifest.num_shards()), 0);
+  res.stats.boundary_bytes_out.assign(
+      static_cast<std::size_t>(plan_.manifest.num_shards()), 0);
+  res.stats.barrier_wait_ns.resize(
+      static_cast<std::size_t>(plan_.manifest.num_shards()));
+  res.stats.halo_publish_ns.resize(
+      static_cast<std::size_t>(plan_.manifest.num_shards()));
   try {
     for (int s = 0; s < plan_.manifest.num_shards(); ++s) {
       try {
@@ -178,27 +237,26 @@ ShardWorkerPool::StageResult ShardWorkerPool::run_stage(
       } catch (const TransportError&) {
         die_worker(s, -1, "died");
       }
+      ++res.stats.ctl_frames;
     }
-    res = drive_locked(max_rounds, 4 + wire.state_size);
-    finish_locked(stage_id);
+    if (frames) drive_frames_locked(max_rounds, &res);
+    await_ends_locked(stage_id, 4 + wire.state_size, max_rounds, &res);
     std::memcpy(states, plane_.state_bytes(), state_bytes);
   } catch (...) {
     // A failed stage never leaks processes; the next dispatch reforks.
+    // The SIGKILLs also unblock any surviving worker parked in a barrier
+    // futex wait for the dead one.
     teardown_locked();
     throw;
   }
+  stats_.ctl_frames += res.stats.ctl_frames;
   if (!persistent_) teardown_locked();
   return res;
 }
 
-ShardWorkerPool::StageResult ShardWorkerPool::drive_locked(
-    int max_rounds, std::size_t record_size) {
+void ShardWorkerPool::drive_frames_locked(int max_rounds, StageResult* res) {
   const int shards = plan_.manifest.num_shards();
   DC_CHECK(static_cast<int>(chans_.size()) == shards);
-
-  StageResult res;
-  res.stats.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
-  res.stats.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
 
   Frame f;
   for (;;) {
@@ -207,7 +265,8 @@ ShardWorkerPool::StageResult ShardWorkerPool::drive_locked(
     // and a dead worker is detected here as EOF on its channel. The
     // barrier is a fixed 9-byte frame — [u8 done][u32 published]
     // [u32 applied] — validated up front; the record payloads themselves
-    // live in the shared plane and are bounds-checked by HaloPlane::open.
+    // live in the shared plane and are bounds-checked by HaloPlane::open,
+    // and the byte accounting now arrives with the STAGE_END summary.
     bool all_done = true;
     for (int s = 0; s < shards; ++s) {
       const std::size_t si = static_cast<std::size_t>(s);
@@ -217,10 +276,11 @@ ShardWorkerPool::StageResult ShardWorkerPool::drive_locked(
       } catch (const TransportError&) {
         got = false;
       }
-      if (!got) die_worker(s, res.rounds, "died");
+      if (!got) die_worker(s, res->rounds, "died");
+      ++res->stats.ctl_frames;
       if (f.type == FrameType::kError) {
         ErrorContext ctx;
-        ctx.round = res.rounds;
+        ctx.round = res->rounds;
         throw CellError(
             FaultCategory::kEngineException,
             "shard " + std::to_string(s) + " worker: " +
@@ -228,56 +288,110 @@ ShardWorkerPool::StageResult ShardWorkerPool::drive_locked(
             ctx);
       }
       if (f.type != FrameType::kBarrier || f.payload.size() != 9)
-        die_worker(s, res.rounds, "sent a malformed barrier");
+        die_worker(s, res->rounds, "sent a malformed barrier");
       all_done &= f.payload[0] != 0;
-      std::uint32_t published = 0;
-      std::uint32_t applied = 0;
-      std::memcpy(&published, f.payload.data() + 1, 4);
-      std::memcpy(&applied, f.payload.data() + 5, 4);
-      res.stats.boundary_bytes_out[si] += published * record_size;
-      res.stats.ghost_bytes_in[si] += applied * record_size;
     }
 
-    if (all_done || res.rounds >= max_rounds) {
-      for (int s = 0; s < shards; ++s) {
-        try {
-          chans_[static_cast<std::size_t>(s)].send(FrameType::kHalt, nullptr,
-                                                   0);
-        } catch (const TransportError&) {
-          die_worker(s, res.rounds, "died");
-        }
-      }
-      return res;
-    }
-
+    const FrameType verdict = (all_done || res->rounds >= max_rounds)
+                                  ? FrameType::kHalt
+                                  : FrameType::kStep;
     for (int s = 0; s < shards; ++s) {
       try {
-        chans_[static_cast<std::size_t>(s)].send(FrameType::kStep, nullptr,
-                                                 0);
+        chans_[static_cast<std::size_t>(s)].send(verdict, nullptr, 0);
       } catch (const TransportError&) {
-        die_worker(s, res.rounds, "died");
+        die_worker(s, res->rounds, "died");
       }
+      ++res->stats.ctl_frames;
     }
-    ++res.rounds;
-    res.stats.rounds = res.rounds;
+    if (verdict == FrameType::kHalt) return;
+    ++res->rounds;
+    res->stats.rounds = res->rounds;
   }
 }
 
-void ShardWorkerPool::finish_locked(std::uint64_t stage_id) {
+int ShardWorkerPool::barrier_round_of(int shard,
+                                      std::uint64_t stage_id) const {
+  const std::uint64_t at = plane_.barrier_raw(shard) & ~kBarrierDoneBit;
+  if ((at >> 32) != stage_id) return -1;
+  return static_cast<int>(at & 0xffffffffull);
+}
+
+void ShardWorkerPool::await_ends_locked(std::uint64_t stage_id,
+                                        std::size_t record_size,
+                                        int max_rounds, StageResult* res) {
   const int shards = plan_.manifest.num_shards();
+  const bool frames = barrier_ == BarrierMode::kFrames;
+  std::vector<std::uint8_t> got_end(static_cast<std::size_t>(shards), 0);
+  int pending = shards;
   Frame f;
-  for (int s = 0; s < shards; ++s) {
-    bool got = false;
-    try {
-      got = chans_[static_cast<std::size_t>(s)].recv(&f);
-    } catch (const TransportError&) {
-      got = false;
+  std::vector<struct pollfd> fds;
+  std::vector<int> owner;
+  while (pending > 0) {
+    fds.clear();
+    owner.clear();
+    for (int s = 0; s < shards; ++s) {
+      if (got_end[static_cast<std::size_t>(s)]) continue;
+      fds.push_back({chans_[static_cast<std::size_t>(s)].fd(), POLLIN, 0});
+      owner.push_back(s);
     }
-    if (!got || f.type != FrameType::kStageEnd)
-      die_worker(s, -1, "died before delivering final state");
-    if (!plane_.check_final(s, stage_id))
-      die_worker(s, -1, "acked a stage without publishing final state");
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("poll on worker control sockets failed");
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const int s = owner[i];
+      const std::size_t si = static_cast<std::size_t>(s);
+      bool ok = false;
+      try {
+        ok = chans_[si].recv(&f);
+      } catch (const TransportError&) {
+        ok = false;
+      }
+      // In shm mode the coordinator never saw the round loop, but a dead
+      // worker's barrier cell still pins the failure to a round.
+      if (!ok)
+        die_worker(s, frames ? res->rounds : barrier_round_of(s, stage_id),
+                   "died");
+      ++res->stats.ctl_frames;
+      if (f.type == FrameType::kError) {
+        ErrorContext ctx;
+        ctx.round = frames ? res->rounds : barrier_round_of(s, stage_id);
+        throw CellError(
+            FaultCategory::kEngineException,
+            "shard " + std::to_string(s) + " worker: " +
+                std::string(f.payload.begin(), f.payload.end()),
+            ctx);
+      }
+      if (f.type != FrameType::kStageEnd)
+        die_worker(s, res->rounds, "sent a malformed stage end");
+      WorkerStageEnd we;
+      if (!decode_stage_end(f.payload.data(), f.payload.size(), &we))
+        die_worker(s, res->rounds, "sent a torn stage end");
+      if (static_cast<int>(we.rounds) > max_rounds)
+        die_worker(s, static_cast<int>(we.rounds), "overran max_rounds");
+      if (frames || pending < shards) {
+        // Every worker must have halted at the same barrier: in frames
+        // mode at the coordinator's round count, in shm mode at whichever
+        // round the first STAGE_END reported.
+        if (static_cast<int>(we.rounds) != res->rounds)
+          die_worker(s, static_cast<int>(we.rounds),
+                     "disagreed on the stage round count");
+      } else {
+        res->rounds = static_cast<int>(we.rounds);
+      }
+      res->stats.boundary_bytes_out[si] = we.published * record_size;
+      res->stats.ghost_bytes_in[si] = we.applied * record_size;
+      res->stats.barrier_wait_ns[si] = std::move(we.barrier_wait_ns);
+      res->stats.halo_publish_ns[si] = std::move(we.publish_ns);
+      if (!plane_.check_final(s, stage_id))
+        die_worker(s, -1, "acked a stage without publishing final state");
+      got_end[si] = 1;
+      --pending;
+    }
   }
+  res->stats.rounds = res->rounds;
 }
 
 void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
@@ -309,12 +423,14 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
       std::uint32_t state_size = 0;
       std::uint32_t step_size = 0;
       std::uint32_t done_size = 0;
+      std::uint8_t frames_byte = 0;
       take(&entry_raw, 8);
       take(&stage_id, 8);
       take(&max_rounds, 4);
       take(&state_size, 4);
       take(&step_size, 4);
       take(&done_size, 4);
+      take(&frames_byte, 1);
       FaultWire fw;
       const std::size_t used = decode_fault_wire(p, left, &fw);
       p += used;
@@ -334,6 +450,7 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
       ctx.step_size = step_size;
       ctx.done_bytes = p + step_size;
       ctx.done_size = done_size;
+      ctx.frames = frames_byte != 0;
 
       // Re-create the coordinator's fault context for this stage: arm()
       // resets the fire-once markers, so per-stage re-firing matches what

@@ -14,7 +14,8 @@
 // be inherited; they are shipped by value. STAGE_BEGIN carries
 //
 //   [u64 entry][u64 stage_id][i32 max_rounds][u32 state_size]
-//   [u32 step_size][u32 done_size][fault wire][step bytes][done bytes]
+//   [u32 step_size][u32 done_size][u8 frames][fault wire]
+//   [step bytes][done bytes]
 //
 // where `entry` is the address of the templated trampoline
 // shard_stage_entry<State, Step, Done> (sync_runner.hpp) — valid in every
@@ -28,38 +29,74 @@
 // the fault-matrix suite pins.
 //
 // Round protocol per stage (data plane entirely in the HaloPlane; frames
-// carry no records):
+// carry no records). Two barrier modes, selected per pool (BarrierMode in
+// backend.hpp; DELTACOLOR_BARRIER=frames is the escape hatch):
+//
+// kShm (default) — peer-to-peer shared-memory epoch barrier; the
+// coordinator leaves the round loop entirely:
+//
+//   worker, on STAGE_BEGIN:  load state image; publish empty slab epoch(0)
+//   worker, per round r:     barrier_arrive(epoch(r) | done vote), then
+//                            wait until every peer's cell reaches epoch(r)
+//                            (spin-then-futex; eagerly applying any peer
+//                            slab already published at epoch(r) while
+//                            waiting). Every worker computes the identical
+//                            halt decision from the shared cells — all
+//                            done votes set, or r == max_rounds — with no
+//                            frames: a peer cell already at epoch(r+1)
+//                            proves the decision was "continue" (a halting
+//                            worker never arrives again). To execute round
+//                            r: apply remaining peer slabs at epoch(r);
+//                            step *boundary nodes first*, appending
+//                            changed-state records inline; publish the
+//                            slab at epoch(r+1) immediately; then sweep
+//                            the interior runs while peers consume the
+//                            slab; refresh ghost shadow slots; swap.
+//   worker, on halt:         write own state slice; publish_final;
+//                            STAGE_END{rounds, totals, timing samples}
+//   coordinator:             sends STAGE_BEGIN, then poll(2)s all control
+//                            sockets for the STAGE_ENDs — per-round cost
+//                            is zero syscalls and zero frames.
+//
+// kFrames (PR 8 baseline) — coordinator-mediated:
 //
 //   worker, on STAGE_BEGIN:  load state image; publish empty slab epoch(0);
 //                            BARRIER{done, published=0, applied=0}
 //   coordinator, per barrier: all done, or rounds == max? -> HALT to all
 //                             else STEP to all; ++rounds
-//   worker, per STEP:        apply peers' slabs at epoch(r) (ghost-run
-//                            merge); step own range; refresh ghost shadow
-//                            slots; swap; publish changed boundary records
-//                            at epoch(r+1); BARRIER{done, published, applied}
-//   worker, on HALT:         write own state slice; publish_final(stage_id);
-//                            STAGE_END; return to the control loop
+//   worker, per STEP:        apply peers' slabs at epoch(r); step own
+//                            range; refresh ghost shadow slots; swap;
+//                            publish changed boundary records at
+//                            epoch(r+1); BARRIER{done, published, applied}
+//   worker, on HALT:         write own state slice; publish_final;
+//                            STAGE_END{...}; return to the control loop
 //
-// Gathering every shard's barrier before releasing any STEP is unchanged
-// from the fork-per-stage design, and it is also what makes the
-// double-buffered slabs safe: the epoch(r) publish overwrites the parity
-// buddy epoch(r-2), which every reader finished with before the barrier
-// that gated this worker's STEP (see halo_plane.hpp).
+// Either way, no worker starts round r before every peer finished round
+// r-1, which is what makes the double-buffered slabs safe: the epoch(r+1)
+// publish overwrites the parity buddy epoch(r-1), which every reader
+// consumed before arriving at barrier r — and round r's publish happens
+// only after barrier r completes. The early (pre-interior) publish
+// tightens nothing here: it still sits after barrier r.
 //
 // Failure: a dead worker (crash, SIGKILL, injected process-kill) surfaces
 // as EOF/EPIPE on its control socket; the coordinator throws
-// CellError(kWorkerDeath) with the round coordinate and tears the pool
-// down (SIGKILL + reap — a failed stage never leaks processes or hangs).
-// The next dispatch simply forks a fresh pool, so one dead worker
-// quarantines one cell, not the plan.
+// CellError(kWorkerDeath) with the round coordinate (in shm mode read
+// from the dead worker's barrier cell) and tears the pool down (SIGKILL +
+// reap — a failed stage never leaks processes or hangs; the SIGKILL also
+// unblocks peers parked in a futex wait). The next dispatch simply forks
+// a fresh pool, so one dead worker quarantines one cell, not the plan. A
+// worker whose *coordinator* dies notices via a zero-timeout poll of its
+// control socket on every futex timeout and exits.
 #pragma once
 
 #include <sys/types.h>
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "local/backend.hpp"
@@ -82,14 +119,121 @@ struct WorkerStageCtx {
   std::size_t step_size = 0;
   const std::uint8_t* done_bytes = nullptr;
   std::size_t done_size = 0;
+  /// True = legacy coordinator frame barrier; false = shm epoch barrier.
+  bool frames = false;
 
   /// Slab epoch of round `round` within this stage: stage ids start at 1,
   /// so no epoch ever collides with the plane's zero-initialized stamps or
-  /// with any other stage's rounds.
+  /// with any other stage's rounds. The same encoding fills the barrier
+  /// cells' low 63 bits, which keeps them monotonic across stages — a new
+  /// stage's round-0 target is above every value the previous stage left
+  /// behind, so cells never need resetting at stage boundaries.
   std::uint64_t epoch(int round) const {
     return (stage_id << 32) | static_cast<std::uint32_t>(round);
   }
 };
+
+/// Per-stage summary a worker ships home in its STAGE_END frame (both
+/// barrier modes): executed rounds, halo record totals, and per-round
+/// timing samples feeding the SHARDS barrier_wait_ns / halo_publish_ns
+/// accounting columns.
+struct WorkerStageEnd {
+  std::uint32_t rounds = 0;
+  std::uint64_t published = 0;  ///< changed-boundary records published
+  std::uint64_t applied = 0;    ///< ghost records applied
+  std::vector<std::uint32_t> barrier_wait_ns;  ///< one sample per barrier
+  std::vector<std::uint32_t> publish_ns;       ///< one sample per round
+};
+
+std::vector<std::uint8_t> encode_stage_end(const WorkerStageEnd& e);
+bool decode_stage_end(const std::uint8_t* p, std::size_t size,
+                      WorkerStageEnd* out);
+
+/// Zero-timeout poll of the control socket for EOF/error — a barrier
+/// waiter checks this on every futex timeout so a worker never outlives a
+/// dead coordinator (the only way frames reach a worker mid-stage in shm
+/// mode is pool teardown).
+bool control_channel_dead(const FrameChannel& ch);
+
+/// Pause-friendly spin hint for the barrier's pre-futex phase.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Cell scans before the waiter falls back to a futex sleep when every
+/// worker can hold its own core. Arrival skew between balanced shards is
+/// typically well under this; the futex path is for genuinely lagging
+/// peers (or dead ones — see barrier_block).
+inline constexpr int kBarrierSpinScans = 4096;
+
+/// Spin budget for one barrier wait. Spinning only pays when the machine
+/// has more cores than workers: on an oversubscribed box the spinners
+/// burn the very cycles the lagging peer needs to arrive, so the waiter
+/// must sleep immediately and let the kernel run whoever is still
+/// stepping (one eager scan still happens before the sleep).
+inline int barrier_spin_scans(int shards) {
+  static const unsigned cores = std::thread::hardware_concurrency();
+  return (cores != 0 && cores > static_cast<unsigned>(shards))
+             ? kBarrierSpinScans
+             : 1;
+}
+
+/// Arrive-and-wait at the stage's round-`round` barrier (the caller has
+/// already barrier_arrive()d its own cell). Returns the peers' collective
+/// done vote: true iff every shard arrived at epoch(round) voting done —
+/// the caller ANDs in its own vote implicitly because it arrived with it,
+/// and halts iff the result is true or round == max_rounds. A peer cell
+/// already one round ahead forces "continue" (it proves the global
+/// decision at this barrier was continue); a cell more than one round
+/// ahead, or in a future stage, is a torn epoch -> TransportError.
+/// `eager` runs once per scan while waiting — the compute/communication
+/// overlap hook that applies peer slabs the moment they are published.
+template <typename EagerFn>
+bool epoch_barrier_wait(const WorkerStageCtx& ctx, int round, EagerFn&& eager) {
+  HaloPlane& plane = *ctx.plane;
+  const int shards = ctx.plan->manifest.num_shards();
+  const std::uint64_t target = ctx.epoch(round);
+  const int spin_limit = barrier_spin_scans(shards);
+  int scans = 0;
+  for (;;) {
+    // Snapshot the futex word *before* scanning: if the scan misses an
+    // arrival that bumps the word afterwards, barrier_block(seq) returns
+    // immediately instead of sleeping through the wakeup.
+    const std::uint32_t seq = plane.barrier_seq();
+    bool all_arrived = true;
+    bool all_done = true;
+    bool advanced = false;
+    for (int s = 0; s < shards; ++s) {
+      if (s == ctx.shard) continue;
+      const std::uint64_t raw = plane.barrier_raw(s);
+      const std::uint64_t at = raw & ~kBarrierDoneBit;
+      if (at < target) {
+        all_arrived = false;  // not there yet (or still in a prior stage)
+      } else if (at == target) {
+        all_done &= (raw & kBarrierDoneBit) != 0;
+      } else if (at == target + 1) {
+        advanced = true;  // peer already executing round + 1
+      } else {
+        throw TransportError(
+            "torn barrier epoch: shard " + std::to_string(s) + " cell at " +
+            std::to_string(at) + ", shard " + std::to_string(ctx.shard) +
+            " waiting for " + std::to_string(target));
+      }
+    }
+    if (all_arrived) return all_done && !advanced;
+    eager();
+    if (++scans < spin_limit) {
+      cpu_relax();
+      continue;
+    }
+    plane.barrier_block(seq);
+    if (control_channel_dead(*ctx.ch)) std::_Exit(1);
+  }
+}
 
 /// The templated trampoline (instantiated per State/Step/Done in
 /// sync_runner.hpp) whose address travels in STAGE_BEGIN.
@@ -108,13 +252,17 @@ class ShardWorkerPool {
   /// `plan` must outlive the pool (the pool is a member of it, constructed
   /// by ProcShardedBackend::prepare). Non-persistent pools fork per
   /// dispatch and tear down after each stage — the fork-per-stage baseline
-  /// kept for the bench_shard A/B comparison.
-  ShardWorkerPool(const ShardPlan& plan, bool persistent);
+  /// kept for the bench_shard A/B comparison. `barrier` (kAuto resolves
+  /// DELTACOLOR_BARRIER) picks the round-barrier protocol; workers learn
+  /// it per stage from the STAGE_BEGIN mode byte.
+  ShardWorkerPool(const ShardPlan& plan, bool persistent,
+                  BarrierMode barrier = BarrierMode::kAuto);
   ~ShardWorkerPool();
   ShardWorkerPool(const ShardWorkerPool&) = delete;
   ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
 
   bool persistent() const { return persistent_; }
+  BarrierMode barrier_mode() const { return barrier_; }
 
   /// Forks the workers now (called at prepare() for persistent pools so
   /// the fork happens before any stage state exists on the heap).
@@ -151,6 +299,7 @@ class ShardWorkerPool {
     std::uint64_t dispatches = 0;  ///< stages dispatched
     std::uint64_t reused = 0;      ///< dispatches served by a live pool
     std::uint64_t shm_bytes = 0;   ///< mapped halo-plane bytes
+    std::uint64_t ctl_frames = 0;  ///< control frames sent + received
   };
   Stats stats() const;
 
@@ -158,11 +307,20 @@ class ShardWorkerPool {
   void spawn_locked();
   void teardown_locked();
   [[noreturn]] void die_worker(int shard, int round, const char* what);
-  StageResult drive_locked(int max_rounds, std::size_t record_size);
-  void finish_locked(std::uint64_t stage_id);
+  /// Frame-barrier round loop (kFrames): gather BARRIERs, send STEP/HALT.
+  void drive_frames_locked(int max_rounds, StageResult* res);
+  /// Both modes: poll(2) every control socket until each worker delivers
+  /// its STAGE_END, then fold the workers' round counts, record totals and
+  /// timing samples into `res` and verify the final-state stamps.
+  void await_ends_locked(std::uint64_t stage_id, std::size_t record_size,
+                         int max_rounds, StageResult* res);
+  /// Best-effort round coordinate of a (possibly dead) worker from its
+  /// barrier cell; -1 if the cell is not in this stage.
+  int barrier_round_of(int shard, std::uint64_t stage_id) const;
 
   const ShardPlan& plan_;
   const bool persistent_;
+  const BarrierMode barrier_;
   HaloPlane plane_;
   mutable std::recursive_mutex mu_;
   int slot_depth_ = 0;

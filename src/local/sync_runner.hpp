@@ -35,6 +35,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <cstring>
@@ -672,7 +673,29 @@ class SyncRunner {
 /// and re-pinned into the shadow buffer before the swap (a ghost's shadow
 /// slot would otherwise be two rounds stale). Dispatched by address via
 /// STAGE_BEGIN (shard_runner.hpp); returns to the worker control loop
-/// after acking HALT, leaving the worker parked for the next stage.
+/// after the final barrier, leaving the worker parked for the next stage.
+///
+/// Two round loops, selected by the STAGE_BEGIN mode byte (ctx.frames):
+///
+///  - shm (default): rounds synchronize on the plane's epoch barrier with
+///    no frames at all, and the sweep is *boundary-first* — boundary nodes
+///    step first with their changed-state records appended inline (the
+///    sparse frontier: a quiescent round publishes an empty delta without
+///    any post-step rescan of the boundary list), the slab publishes
+///    before the interior sweep begins, and peers blocked at the barrier
+///    eagerly merge each slab the moment its epoch appears — overlapping
+///    this shard's interior compute with the peers' "communication".
+///    Reordering boundary before interior cannot change results: every
+///    step reads only `cur` (frozen for the round) and writes its own
+///    `nxt` slot.
+///
+///  - frames: the PR 8 coordinator-mediated loop, byte-for-byte (full
+///    sweep, then a post-swap boundary rescan publishes the delta, then
+///    BARRIER/STEP frames) — the DELTACOLOR_BARRIER=frames escape hatch
+///    and the bench_shard A/B baseline.
+///
+/// Both loops ship a WorkerStageEnd summary (rounds, record totals,
+/// per-round barrier-wait and publish-time samples) home in STAGE_END.
 template <typename State, typename StepFn, typename DoneFn>
 void shard_stage_entry(const WorkerStageCtx& ctx) {
   static_assert(std::is_trivially_copyable_v<State>);
@@ -703,6 +726,7 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
   const auto& boundary = mf.boundary[si];
   const auto& ghosts = mf.ghosts[si];
   const auto& runs = mf.ghost_runs[si];
+  const auto& interior = mf.interior_runs[si];
   constexpr std::size_t kRecord = 4 + sizeof(State);
   const std::size_t n = g.num_nodes();
 
@@ -716,6 +740,124 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
       if (!done_node(static_cast<NodeId>(i), cur[i])) return 0;
     return 1;
   };
+  using Clock = std::chrono::steady_clock;
+  const auto ns_since = [](Clock::time_point t0) -> std::uint32_t {
+    const long long d =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count();
+    return static_cast<std::uint32_t>(
+        std::clamp<long long>(d, 0, 0xffffffffll));
+  };
+
+  WorkerStageEnd ws;
+  // Apply one peer's round-r slab: a two-pointer merge of the slab's
+  // ascending records against this shard's ascending ghost run for that
+  // peer. Only matching ghost slots are written, so even a corrupt slab
+  // cannot write outside the ghost set.
+  const auto merge_run = [&](const GhostRun& run,
+                             const HaloPlane::SlabView& sv) -> std::uint32_t {
+    const std::uint8_t* rec = sv.records;
+    std::uint32_t gi = run.begin;
+    std::uint32_t applied = 0;
+    for (std::uint32_t i = 0; i < sv.count && gi < run.end;
+         ++i, rec += kRecord) {
+      NodeId node = 0;
+      std::memcpy(&node, rec, 4);
+      while (gi < run.end && ghosts[gi] < node) ++gi;
+      if (gi < run.end && ghosts[gi] == node) {
+        std::memcpy(&cur[node], rec + 4, sizeof(State));
+        ++applied;
+      }
+    }
+    ws.applied += applied;
+    return applied;
+  };
+  const auto finish = [&](int rounds) {
+    std::memcpy(plane.state_bytes() + lo * sizeof(State), cur.data() + lo,
+                (hi - lo) * sizeof(State));
+    plane.publish_final(shard, ctx.stage_id);
+    ws.rounds = static_cast<std::uint32_t>(rounds);
+    ctx.ch->send(FrameType::kStageEnd, encode_stage_end(ws));
+  };
+
+  if (!ctx.frames) {
+    // --- shm epoch barrier: zero frames per round, boundary-first sweep.
+    std::vector<std::uint8_t> merged(runs.size(), 0);
+    plane.publish(shard, 0, ctx.epoch(0), 0);  // round 0 reads empty slabs
+    int r = 0;
+    std::uint8_t done = own_done();
+    for (;;) {
+      std::fill(merged.begin(), merged.end(), 0);
+      plane.barrier_arrive(
+          shard, ctx.epoch(r) | (done != 0 ? kBarrierDoneBit : 0));
+      const auto barrier_at = Clock::now();
+      // While peers trickle in, merge any round-r slab that is already
+      // published — by the time the barrier opens, most of the halo work
+      // is usually done (this is the read half of the overlap; the write
+      // half is the early publish below).
+      const bool peers_done = epoch_barrier_wait(ctx, r, [&] {
+        for (std::size_t k = 0; k < runs.size(); ++k) {
+          if (merged[k] != 0) continue;
+          HaloPlane::SlabView sv;
+          if (plane.try_open(runs[k].peer, r & 1, ctx.epoch(r), kRecord,
+                             &sv)) {
+            merge_run(runs[k], sv);
+            merged[k] = 1;
+          }
+        }
+      });
+      ws.barrier_wait_ns.push_back(ns_since(barrier_at));
+      // The halt predicate every worker computes identically from the
+      // shared cells — exactly the coordinator's old all-done-or-max rule.
+      if ((done != 0 && peers_done) || r >= ctx.max_rounds) {
+        finish(r);
+        return;
+      }
+      for (std::size_t k = 0; k < runs.size(); ++k) {
+        if (merged[k] != 0) continue;
+        merge_run(runs[k],
+                  plane.open(runs[k].peer, r & 1, ctx.epoch(r), kRecord));
+      }
+      if (FaultInjector::armed()) {
+        FaultInjector::global().on_engine_round(r);
+        FaultInjector::global().on_shard_round(shard, r);
+      }
+      ScratchArena::local().reset();
+      // Boundary first, appending changed-state records inline (ascending,
+      // because boundary[] is ascending — the reader's merge relies on
+      // that). The slab lands before any interior node steps, so peers
+      // waiting at barrier r+1 start merging while this shard is still
+      // sweeping its interior. Overwriting this parity's buddy (epoch
+      // r-1) is safe: every peer merged it before arriving at barrier r,
+      // and this code runs after barrier r opened.
+      const auto publish_at = Clock::now();
+      std::uint8_t* rec = plane.slab_records(shard, (r + 1) & 1);
+      std::uint32_t count = 0;
+      for (const NodeId b : boundary) {
+        const State s = step(ViewT(g, b, cur, r));
+        if (!(s == cur[b])) {
+          std::memcpy(rec, &b, 4);
+          std::memcpy(rec + 4, &s, sizeof(State));
+          rec += kRecord;
+          ++count;
+        }
+        nxt[b] = s;
+      }
+      plane.publish(shard, (r + 1) & 1, ctx.epoch(r + 1), count);
+      ws.publish_ns.push_back(ns_since(publish_at));
+      ws.published += count;
+      for (const NodeRun& run : interior)
+        for (NodeId i = run.begin; i < run.end; ++i)
+          nxt[i] = step(ViewT(g, i, cur, r));
+      for (const NodeId gnode : ghosts) nxt[gnode] = cur[gnode];
+      cur.swap(nxt);
+      ++r;
+      done = own_done();
+    }
+  }
+
+  // --- frames escape hatch: the PR 8 coordinator-mediated loop.
   const auto send_barrier = [&](std::uint32_t published,
                                 std::uint32_t applied) {
     std::uint8_t payload[9];
@@ -730,6 +872,7 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
   // write + one release store replaces the per-record frame copies of the
   // fork-per-stage design.
   const auto publish_round = [&](int round) -> std::uint32_t {
+    const auto publish_at = Clock::now();
     std::uint8_t* rec = plane.slab_records(shard, round & 1);
     std::uint32_t count = 0;
     for (const NodeId b : boundary) {
@@ -740,45 +883,29 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
       ++count;
     }
     plane.publish(shard, round & 1, ctx.epoch(round), count);
+    ws.publish_ns.push_back(ns_since(publish_at));
+    ws.published += count;
     return count;
   };
 
   plane.publish(shard, 0, ctx.epoch(0), 0);  // round 0 reads empty slabs
+  auto barrier_at = Clock::now();
   send_barrier(0, 0);
   int r = 0;
   Frame f;
   for (;;) {
     if (!ctx.ch->recv(&f)) std::_Exit(1);  // coordinator vanished
+    ws.barrier_wait_ns.push_back(ns_since(barrier_at));
     if (f.type == FrameType::kHalt) {
-      std::memcpy(plane.state_bytes() + lo * sizeof(State), cur.data() + lo,
-                  (hi - lo) * sizeof(State));
-      plane.publish_final(shard, ctx.stage_id);
-      ctx.ch->send(FrameType::kStageEnd, nullptr, 0);
+      finish(r);
       return;
     }
     if (f.type != FrameType::kStep)
       throw TransportError("unexpected frame inside a stage round loop");
-    // Apply the peers' round-r slabs: a two-pointer merge of each slab's
-    // ascending records against this shard's ascending ghost run for that
-    // peer. Only matching ghost slots are written, so even a corrupt slab
-    // cannot write outside the ghost set.
     std::uint32_t applied = 0;
-    for (const GhostRun& run : runs) {
-      const HaloPlane::SlabView sv =
-          plane.open(run.peer, r & 1, ctx.epoch(r), kRecord);
-      const std::uint8_t* rec = sv.records;
-      std::uint32_t gi = run.begin;
-      for (std::uint32_t i = 0; i < sv.count && gi < run.end;
-           ++i, rec += kRecord) {
-        NodeId node = 0;
-        std::memcpy(&node, rec, 4);
-        while (gi < run.end && ghosts[gi] < node) ++gi;
-        if (gi < run.end && ghosts[gi] == node) {
-          std::memcpy(&cur[node], rec + 4, sizeof(State));
-          ++applied;
-        }
-      }
-    }
+    for (const GhostRun& run : runs)
+      applied +=
+          merge_run(run, plane.open(run.peer, r & 1, ctx.epoch(r), kRecord));
     if (FaultInjector::armed()) {
       FaultInjector::global().on_engine_round(r);
       FaultInjector::global().on_shard_round(shard, r);
@@ -789,7 +916,9 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
     for (const NodeId gnode : ghosts) nxt[gnode] = cur[gnode];
     cur.swap(nxt);
     ++r;
-    send_barrier(publish_round(r), applied);
+    const std::uint32_t published = publish_round(r);
+    barrier_at = Clock::now();
+    send_barrier(published, applied);
   }
 }
 

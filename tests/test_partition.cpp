@@ -135,6 +135,70 @@ TEST(ShardManifest, SingleShardHasNoCut) {
   EXPECT_EQ(mf.cut_edges, 0u);
 }
 
+TEST(ShardManifest, InteriorRunsAndBoundaryTileEachShardExactly) {
+  // The boundary-first schedule steps boundary[s] then sweeps
+  // interior_runs[s]; together they must cover every owned node exactly
+  // once, the runs must be ascending, disjoint, maximal, and contain no
+  // boundary node.
+  const Graph g = bench::hard_instance(16, 10, 5).graph;
+  for (int shards : {1, 2, 3, 4}) {
+    const ShardManifest mf = ShardManifest::build(g, shards);
+    ASSERT_EQ(mf.interior_runs.size(), static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      std::vector<NodeId> covered(mf.boundary[s]);
+      NodeId prev_end = static_cast<NodeId>(mf.bounds[s]);
+      for (const NodeRun& run : mf.interior_runs[s]) {
+        ASSERT_LT(run.begin, run.end) << "empty run, shard " << s;
+        ASSERT_GE(run.begin, prev_end) << "overlapping runs, shard " << s;
+        EXPECT_GE(run.begin, mf.bounds[s]);
+        EXPECT_LE(run.end, mf.bounds[s + 1]);
+        for (NodeId v = run.begin; v < run.end; ++v) {
+          covered.push_back(v);
+          EXPECT_FALSE(std::binary_search(mf.boundary[s].begin(),
+                                          mf.boundary[s].end(), v))
+              << "boundary node " << v << " inside an interior run";
+        }
+        prev_end = run.end;
+      }
+      // Maximality: adjacent runs would have been merged.
+      for (std::size_t i = 0; i + 1 < mf.interior_runs[s].size(); ++i)
+        EXPECT_LT(mf.interior_runs[s][i].end,
+                  mf.interior_runs[s][i + 1].begin);
+      std::sort(covered.begin(), covered.end());
+      ASSERT_EQ(covered.size(), mf.shard_size(s)) << "shard " << s;
+      for (std::size_t i = 0; i < covered.size(); ++i)
+        ASSERT_EQ(covered[i], static_cast<NodeId>(mf.bounds[s] + i));
+    }
+  }
+}
+
+TEST(EffectiveShardCount, ClampsToNonEmptyShards) {
+  // More shards than nodes must clamp so no worker owns an empty range.
+  const Graph tiny = path_graph(3);
+  EXPECT_EQ(effective_shard_count(tiny, 8), 3);
+  EXPECT_EQ(effective_shard_count(tiny, 3), 3);
+  EXPECT_EQ(effective_shard_count(tiny, 2), 2);
+  EXPECT_EQ(effective_shard_count(tiny, 1), 1);
+  // An empty graph still gets one (vacuous) shard.
+  const Graph empty(0, std::vector<std::pair<NodeId, NodeId>>{});
+  EXPECT_EQ(effective_shard_count(empty, 4), 1);
+  // A star's weight concentrates on the center: degree-balanced bounds can
+  // leave high shard counts with empty trailing parts, and the clamp must
+  // land on a count whose every shard is non-empty.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < 20; ++v) edges.push_back({0, v});
+  const Graph star(20, std::move(edges));
+  for (int requested : {1, 2, 4, 8, 32}) {
+    const int k = effective_shard_count(star, requested);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, requested);
+    const auto bounds = degree_balanced_bounds(star, k);
+    for (int p = 0; p < k; ++p)
+      EXPECT_LT(bounds[p], bounds[p + 1])
+          << "empty shard " << p << " at requested=" << requested;
+  }
+}
+
 TEST(ShardManifest, EverySubscriberEdgeIsDelivered) {
   // For every shard t and every ghost u it reads, the owner of u must list
   // t as a subscriber of u — otherwise a halo update would be dropped.

@@ -30,6 +30,7 @@
 #include "local/backend.hpp"
 #include "local/faults.hpp"
 #include "local/halo_plane.hpp"
+#include "local/shard_runner.hpp"
 #include "local/transport.hpp"
 #include "registry/registry.hpp"
 
@@ -259,6 +260,131 @@ TEST(HaloPlane, TornSlabsAreStructuredTransportErrors) {
   EXPECT_NO_THROW(plane.open(0, 0, (std::uint64_t{3} << 32) | 0, kRecord));
 }
 
+// --- epoch barrier -----------------------------------------------------------
+
+/// A stage context over a pool-less plan, enough for epoch_barrier_wait:
+/// the manifest (peer count), the plane (cells + futex word), and a live
+/// control channel (the waiter's coordinator-death probe must see a
+/// healthy socket). Keeps both channel ends open for its lifetime.
+struct BarrierFixture {
+  Graph g;
+  ShardPlan plan;
+  HaloPlane plane;
+  FrameChannel coord;
+  FrameChannel worker;
+  WorkerStageCtx ctx;
+
+  explicit BarrierFixture(int shards, int shard = 0,
+                          std::uint64_t stage_id = 1)
+      : g(random_regular(96, 4, 2)) {
+    plan.graph = &g;
+    plan.manifest = ShardManifest::build(g, shards);
+    plane = HaloPlane(plan.manifest, g.num_nodes(), 1 << 12);
+    auto [c, w] = FrameChannel::open_pair();
+    coord = std::move(c);
+    worker = std::move(w);
+    ctx.plan = &plan;
+    ctx.plane = &plane;
+    ctx.ch = &worker;
+    ctx.shard = shard;
+    ctx.stage_id = stage_id;
+    ctx.max_rounds = 64;
+  }
+};
+
+TEST(HaloPlane, EpochBarrierReleasesOnlyWhenEveryPeerArrives) {
+  // A lagging peer holds the barrier: the waiter (spin-then-futex) must
+  // stay blocked until the *last* peer's cell reaches the round's epoch,
+  // and the returned collective done vote must AND every peer's bit.
+  BarrierFixture fx(3);
+  std::atomic<bool> released{false};
+  std::atomic<bool> vote{false};
+  fx.plane.barrier_arrive(0, fx.ctx.epoch(0) | kBarrierDoneBit);
+  std::thread waiter([&] {
+    vote.store(epoch_barrier_wait(fx.ctx, 0, [] {}));
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(released.load());  // no peer has arrived
+  fx.plane.barrier_arrive(1, fx.ctx.epoch(0) | kBarrierDoneBit);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(released.load());  // shard 2 still lagging
+  fx.plane.barrier_arrive(2, fx.ctx.epoch(0));  // arrives voting not-done
+  waiter.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_FALSE(vote.load());  // one peer withheld its done vote
+
+  // Next round: every peer votes done -> collective vote is true.
+  fx.plane.barrier_arrive(0, fx.ctx.epoch(1) | kBarrierDoneBit);
+  std::thread waiter2(
+      [&] { vote.store(epoch_barrier_wait(fx.ctx, 1, [] {})); });
+  fx.plane.barrier_arrive(1, fx.ctx.epoch(1) | kBarrierDoneBit);
+  fx.plane.barrier_arrive(2, fx.ctx.epoch(1) | kBarrierDoneBit);
+  waiter2.join();
+  EXPECT_TRUE(vote.load());
+}
+
+TEST(HaloPlane, BarrierCellsCarryAcrossStagesWithoutReset) {
+  // Stage ids grow monotonically, so a new stage's round-0 epoch exceeds
+  // everything the previous stage left in the cells: a stale peer cell
+  // reads as "not yet arrived" — never as torn state — and the cells need
+  // no reset at stage boundaries.
+  BarrierFixture fx(2);
+  for (int r = 0; r <= 2; ++r) {  // stage 1 runs to completion
+    fx.plane.barrier_arrive(0, fx.ctx.epoch(r));
+    fx.plane.barrier_arrive(1, fx.ctx.epoch(r));
+  }
+  fx.ctx.stage_id = 2;  // next dispatched stage
+  std::atomic<bool> released{false};
+  fx.plane.barrier_arrive(0, fx.ctx.epoch(0));
+  std::thread waiter([&] {
+    epoch_barrier_wait(fx.ctx, 0, [] {});
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(released.load());  // peer's stage-1 cell must not satisfy it
+  fx.plane.barrier_arrive(1, fx.ctx.epoch(0));
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(HaloPlane, TornBarrierEpochIsAStructuredTransportError) {
+  // A peer cell more than one round ahead (or in a future stage) can only
+  // mean corrupted shared memory or a protocol bug — a healthy peer can
+  // lead the waiter by at most one round. Structured error, never a hang.
+  BarrierFixture fx(2);
+  fx.plane.barrier_arrive(0, fx.ctx.epoch(1));
+  fx.plane.barrier_arrive(1, fx.ctx.epoch(5));
+  EXPECT_THROW(epoch_barrier_wait(fx.ctx, 1, [] {}), TransportError);
+  // A peer exactly one round ahead is legal and forces "continue".
+  fx.plane.barrier_arrive(1, fx.ctx.epoch(2));
+  EXPECT_FALSE(epoch_barrier_wait(fx.ctx, 1, [] {}));
+  // A peer in a *future stage* is torn regardless of its round bits.
+  fx.plane.barrier_arrive(0, fx.ctx.epoch(3));
+  fx.plane.barrier_arrive(
+      1, ((fx.ctx.stage_id + 1) << 32) | std::uint64_t{0});
+  EXPECT_THROW(epoch_barrier_wait(fx.ctx, 3, [] {}), TransportError);
+}
+
+TEST(HaloPlane, BarrierArrivalOrdersPeerWritesAcrossThreads) {
+  // The only synchronization between a peer's pre-arrival writes and this
+  // shard's post-wait reads is the barrier cell's release store / acquire
+  // load (plus the futex word's bump). Under TSan this pins that the
+  // epoch-barrier edge alone is a sufficient happens-before — the
+  // cross-process analogue every shm-mode round relies on when it reads
+  // peer slabs after the barrier opens.
+  BarrierFixture fx(2);
+  int payload[64] = {0};  // plain, non-atomic shared data
+  fx.plane.barrier_arrive(0, fx.ctx.epoch(0));
+  std::thread peer([&] {
+    for (int i = 0; i < 64; ++i) payload[i] = i + 1;
+    fx.plane.barrier_arrive(1, fx.ctx.epoch(0));
+  });
+  epoch_barrier_wait(fx.ctx, 0, [] {});
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(payload[i], i + 1);
+  peer.join();
+}
+
 // --- golden parity -----------------------------------------------------------
 
 std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
@@ -275,6 +401,9 @@ std::uint64_t result_hash(const AlgorithmResult& r) {
 }
 
 TEST(ShardBackend, EveryRegistryAlgorithmBitIdenticalAcrossShardCounts) {
+  // The golden-parity gate, squared over the two barrier protocols: the
+  // shm epoch barrier and the frames escape hatch must both reproduce the
+  // in-process oracle bit for bit at every shard count.
   const Graph g = bench::hard_instance(16, 10, 5).graph;
   std::uint64_t sharded_stages = 0;
   for (const AlgorithmEntry& entry : algorithm_registry()) {
@@ -283,30 +412,108 @@ TEST(ShardBackend, EveryRegistryAlgorithmBitIdenticalAcrossShardCounts) {
     req.engine = {1, false};
     const AlgorithmResult baseline = bench::run_registered(entry.name, g, req);
     EXPECT_TRUE(baseline.ok) << entry.name;
-    for (const int shards : {1, 2, 4}) {
-      ProcShardedBackend backend(shards);
-      backend.prepare(g);
-      AlgorithmRequest proc_req = req;
-      proc_req.engine.backend = &backend;
-      const AlgorithmResult res =
-          bench::run_registered(entry.name, g, proc_req);
-      EXPECT_TRUE(res.ok) << entry.name << " shards=" << shards;
-      EXPECT_EQ(res.color, baseline.color)
-          << entry.name << " shards=" << shards;
-      EXPECT_EQ(res.in_set, baseline.in_set)
-          << entry.name << " shards=" << shards;
-      EXPECT_EQ(res.ledger.total(), baseline.ledger.total())
-          << entry.name << " shards=" << shards;
-      EXPECT_EQ(res.palette, baseline.palette)
-          << entry.name << " shards=" << shards;
-      EXPECT_EQ(result_hash(res), result_hash(baseline))
-          << entry.name << " shards=" << shards;
-      sharded_stages += backend.totals().stages;
+    for (const BarrierMode mode : {BarrierMode::kShm, BarrierMode::kFrames}) {
+      for (const int shards : {1, 2, 4}) {
+        ProcShardedBackend backend(shards, /*persistent=*/true, mode);
+        backend.prepare(g);
+        AlgorithmRequest proc_req = req;
+        proc_req.engine.backend = &backend;
+        const AlgorithmResult res =
+            bench::run_registered(entry.name, g, proc_req);
+        const std::string tag = std::string(entry.name) + " shards=" +
+                                std::to_string(shards) + " barrier=" +
+                                barrier_mode_name(mode);
+        EXPECT_TRUE(res.ok) << tag;
+        EXPECT_EQ(res.color, baseline.color) << tag;
+        EXPECT_EQ(res.in_set, baseline.in_set) << tag;
+        EXPECT_EQ(res.ledger.total(), baseline.ledger.total()) << tag;
+        EXPECT_EQ(res.palette, baseline.palette) << tag;
+        EXPECT_EQ(result_hash(res), result_hash(baseline)) << tag;
+        sharded_stages += backend.totals().stages;
+      }
     }
   }
   // The parity above would hold vacuously if nothing ever sharded; pin
   // that the backend actually executed forked stages.
   EXPECT_GT(sharded_stages, 0u);
+}
+
+TEST(ShardBackend, ShardCountClampsToTheNodeCount) {
+  // Requesting more shards than the graph can fill must not fork workers
+  // for empty ranges: the backend clamps at prepare() (with a stderr
+  // warning) and the whole pipeline runs — bit-identically — at the
+  // effective count.
+  const Graph g = random_regular(6, 2, 3);
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+  const AlgorithmResult baseline = bench::run_registered("trial", g, req);
+
+  ProcShardedBackend backend(16);
+  backend.prepare(g);
+  const int effective = backend.totals().effective_shards;
+  ASSERT_GE(effective, 1);
+  ASSERT_LE(effective, 6);
+  AlgorithmRequest proc_req = req;
+  proc_req.engine.backend = &backend;
+  const AlgorithmResult res = bench::run_registered("trial", g, proc_req);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.color, baseline.color);
+  EXPECT_EQ(res.ledger.total(), baseline.ledger.total());
+  const ProcShardedBackend::Totals totals = backend.totals();
+  EXPECT_GT(totals.stages, 0u);
+  // Forks follow the effective count, not the requested 16.
+  EXPECT_EQ(totals.forks, static_cast<std::uint64_t>(effective));
+  EXPECT_EQ(totals.ghost_bytes_in.size(),
+            static_cast<std::size_t>(effective));
+}
+
+TEST(ShardBackend, BarrierTimingAndControlFramesAreAccounted) {
+  // Satellite accounting: both barrier modes ship per-round barrier-wait /
+  // halo-publish samples home in STAGE_END, and the control-frame counter
+  // exposes the A/B the bench asserts — the frame barrier pays 2 frames
+  // per shard per round on top of the per-stage envelope, the shm barrier
+  // only the envelope.
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+
+  ProcShardedBackend shm(2, /*persistent=*/true, BarrierMode::kShm);
+  shm.prepare(g);
+  AlgorithmRequest sreq = req;
+  sreq.engine.backend = &shm;
+  EXPECT_TRUE(bench::run_registered("trial", g, sreq).ok);
+  const ProcShardedBackend::Totals st = shm.totals();
+
+  ProcShardedBackend frames(2, /*persistent=*/true, BarrierMode::kFrames);
+  frames.prepare(g);
+  AlgorithmRequest freq = req;
+  freq.engine.backend = &frames;
+  EXPECT_TRUE(bench::run_registered("trial", g, freq).ok);
+  const ProcShardedBackend::Totals ft = frames.totals();
+
+  ASSERT_EQ(st.stages, ft.stages);
+  ASSERT_EQ(st.rounds, ft.rounds);
+  // Envelope only vs envelope + 2 frames/shard/round (send + recv counted):
+  // the per-round gap is the syscall win the tentpole claims.
+  EXPECT_GT(st.ctl_frames, 0u);
+  EXPECT_GE(ft.ctl_frames, st.ctl_frames + 2 * ft.rounds);
+  // Both modes ship timing samples for every shard that ran rounds.
+  ASSERT_EQ(st.barrier_wait_ns.size(), 2u);
+  ASSERT_EQ(ft.barrier_wait_ns.size(), 2u);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_FALSE(st.barrier_wait_ns[s].empty()) << "shm shard " << s;
+    EXPECT_FALSE(ft.barrier_wait_ns[s].empty()) << "frames shard " << s;
+    EXPECT_FALSE(st.halo_publish_ns[s].empty()) << "shm shard " << s;
+  }
+  // The SHARDS report carries the new columns and names the barrier mode.
+  const std::string report = shm.report();
+  EXPECT_NE(report.find("barrier_wait_ns_p50="), std::string::npos) << report;
+  EXPECT_NE(report.find("halo_publish_ns_p95="), std::string::npos) << report;
+  EXPECT_NE(report.find("barrier=shm"), std::string::npos) << report;
+  EXPECT_NE(report.find("ctl_frames="), std::string::npos) << report;
+  EXPECT_NE(frames.report().find("barrier=frames"), std::string::npos);
 }
 
 TEST(ShardBackend, HaloTrafficIsAccounted) {

@@ -29,7 +29,14 @@
 //                  exchange boundary state at round barriers; results are
 //                  bit-identical to inproc. Prints a per-shard SHARDS
 //                  accounting block next to the ledger / SWEEP line
-//   --shards=N     proc backend: number of worker processes (default 2)
+//   --shards=N     proc backend: number of worker processes (default 2;
+//                  clamped, with a warning, when shards would be empty)
+//   --barrier=M    proc backend round barrier, M in {shm, frames}: shm
+//                  (default) synchronizes rounds through shared-memory
+//                  epoch cells with zero per-round syscalls; frames is the
+//                  coordinator socketpair barrier — the escape hatch when
+//                  diagnosing a stuck barrier (DELTACOLOR_BARRIER=frames
+//                  is the env equivalent)
 //   --repeat=N     color only: run N seeds (seed, seed+1, ...) of the
 //                  algorithm over the shared instance as concurrent sweep
 //                  cells; print per-seed rounds and aggregate wall-clock
@@ -101,7 +108,9 @@ int usage() {
          "activation), --backend=inproc|proc (proc = multi-process sharded "
          "execution with halo exchange; bit-identical results), --shards=N "
          "(proc backend: worker processes, default 2, 0 = one per hardware "
-         "core), "
+         "core), --barrier=shm|frames (proc backend round barrier: "
+         "shared-memory epoch cells (default) or coordinator frames; env "
+         "DELTACOLOR_BARRIER), "
          "--repeat=N (color: N seeds as sweep cells, "
          "aggregate stats), --validate=off|end|phase (oracle mode: check "
          "the final coloring / every pipeline phase boundary), --retries=N "
@@ -126,6 +135,7 @@ int list_algorithms() {
 EngineOptions g_engine;  // from --threads / --frontier
 bool g_proc_backend = false;  // from --backend=proc
 int g_shards = 2;             // from --shards=N
+BarrierMode g_barrier = BarrierMode::kAuto;  // from --barrier=M
 int g_repeat = 1;             // from --repeat=N
 ValidateMode g_validate = ValidateMode::kOff;  // from --validate=M
 int g_retries = 1;                             // from --retries=N
@@ -380,7 +390,8 @@ int cmd_color(int argc, char** argv) {
   // fall back in-process and are counted in the SHARDS report.
   std::unique_ptr<ProcShardedBackend> proc_backend;
   if (g_proc_backend) {
-    proc_backend = std::make_unique<ProcShardedBackend>(g_shards);
+    proc_backend = std::make_unique<ProcShardedBackend>(
+        g_shards, /*persistent=*/true, g_barrier);
     proc_backend->prepare(g);
     g_engine.backend = proc_backend.get();
   }
@@ -558,6 +569,17 @@ int main(int argc, char** argv) {
                        : std::max(
                              1, static_cast<int>(
                                     std::thread::hardware_concurrency()));
+    } else if (arg.rfind("--barrier=", 0) == 0) {
+      const std::string mode = arg.substr(10);
+      if (mode == "shm") {
+        g_barrier = BarrierMode::kShm;
+      } else if (mode == "frames") {
+        g_barrier = BarrierMode::kFrames;
+      } else {
+        std::cerr << "dcolor: invalid " << arg
+                  << " (barriers: shm, frames)\n";
+        return kExitUsage;
+      }
     } else if (arg.rfind("--repeat=", 0) == 0) {
       g_repeat = std::atoi(arg.c_str() + 9);
       if (g_repeat < 1) {
@@ -635,7 +657,10 @@ int main(int argc, char** argv) {
             << "), frontier=" << (g_engine.frontier ? "on" : "off")
             << ", backend="
             << (g_proc_backend
-                    ? "proc(shards=" + std::to_string(g_shards) + ")"
+                    ? "proc(shards=" + std::to_string(g_shards) +
+                          ", barrier=" +
+                          barrier_mode_name(resolve_barrier_mode(g_barrier)) +
+                          ")"
                     : std::string("inproc"))
             << "\n";
   const std::string cmd = argv[1];
