@@ -20,6 +20,12 @@
 // barrier-wait / halo-publish percentiles as BENCH_JSON records. The
 // frames-vs-shm pair is the A/B for the barrier win.
 //
+// A final recovery A/B re-runs the shm pipeline with one injected
+// mid-stage worker SIGKILL: the pool respawns the dead worker and replays
+// the stage, the result is asserted bit-identical to the clean run, and
+// the replay overhead (extra wall clock + discarded rounds) is reported as
+// its own BENCH_JSON record.
+//
 // Usage: bench_shard [--quick]   (--quick cuts stages/instance size ~4x)
 #include <algorithm>
 #include <chrono>
@@ -31,6 +37,7 @@
 
 #include "bench_support/table.hpp"
 #include "deltacolor.hpp"
+#include "local/faults.hpp"
 
 namespace {
 
@@ -86,8 +93,13 @@ struct PipelineResult {
 // scheduler can add milliseconds of skew to any single rep. Final states
 // reflect all reps' rounds, so the cross-mode identity assertion still
 // covers every executed round.
+// `fault_stage` >= 0 runs that stage under FaultInjector cell scope 0, so a
+// cell=0 fault spec armed by the caller fires in exactly one stage per rep
+// (the recovery A/B); it also pins the pool's respawn budget so the bench
+// is deterministic regardless of DELTACOLOR_SHARD_* in the environment.
 PipelineResult run_pipeline(const Graph& g, int stages, int rounds_per_stage,
-                            int reps, int shards, Mode mode) {
+                            int reps, int shards, Mode mode,
+                            int fault_stage = -1) {
   std::unique_ptr<ProcShardedBackend> backend;
   EngineOptions opts;
   opts.num_threads = 1;
@@ -95,6 +107,10 @@ PipelineResult run_pipeline(const Graph& g, int stages, int rounds_per_stage,
     backend = std::make_unique<ProcShardedBackend>(
         shards, /*persistent=*/mode != kForkPerStage,
         mode == kPersistentFrames ? BarrierMode::kFrames : BarrierMode::kShm);
+    if (fault_stage >= 0) {
+      backend->set_respawn_budget(2);
+      backend->set_degrade(false);
+    }
     backend->prepare(g);
     opts.backend = backend.get();
   }
@@ -103,7 +119,14 @@ PipelineResult run_pipeline(const Graph& g, int stages, int rounds_per_stage,
   res.total_ms = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    for (int s = 0; s < stages; ++s) driver.run_one_stage(rounds_per_stage);
+    for (int s = 0; s < stages; ++s) {
+      if (s == fault_stage) {
+        FaultInjector::CellScope scope(/*cell=*/0, /*attempt=*/0);
+        driver.run_one_stage(rounds_per_stage);
+      } else {
+        driver.run_one_stage(rounds_per_stage);
+      }
+    }
     res.total_ms = std::min(
         res.total_ms, std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
@@ -234,12 +257,75 @@ int run(bool quick) {
           .print();
     }
   }
+
+  // Recovery A/B: same shm pipeline, one rep each, with a worker SIGKILL
+  // injected mid-round in the middle stage of the faulted run. The pool
+  // must respawn the dead worker, replay the interrupted stage, and land on
+  // bit-identical states; the wall-clock delta is the price of one replay.
+  {
+    const int shards = 4;
+    const int kill_stage = stages / 2;
+    FaultSpec kill;
+    kill.category = FaultCategory::kProcessKill;
+    kill.cell = 0;  // matches only the CellScope(0) stage in the faulted run
+    kill.round = rounds_per_stage / 2;
+    kill.shard = 1;
+    kill.attempts = 1;  // the replay attempt runs clean
+    const PipelineResult clean = run_pipeline(g, stages, rounds_per_stage,
+                                              /*reps=*/1, shards,
+                                              kPersistentShm, stages + 1);
+    FaultInjector::global().arm({kill}, /*seed=*/7);
+    const PipelineResult faulted = run_pipeline(
+        g, stages, rounds_per_stage, /*reps=*/1, shards, kPersistentShm,
+        kill_stage);
+    FaultInjector::global().disarm();
+    const bool recovered = faulted.totals.respawns >= 1;
+    const bool identical = faulted.states == clean.states;
+    if (!recovered || !identical) exit_code = 1;
+
+    const auto frames_per_round = [](const PipelineResult& r) {
+      return r.totals.rounds > 0 ? r.totals.ctl_frames / r.totals.rounds : 0;
+    };
+    const auto emit = [&](const char* name, const PipelineResult& r,
+                          bool ok) {
+      t.row(shards, name, stages,
+            static_cast<std::int64_t>(r.totals.forks),
+            static_cast<std::int64_t>(frames_per_round(r)),
+            static_cast<std::int64_t>(
+                pooled_percentile(r.totals.barrier_wait_ns, 0.50)),
+            r.total_ms, r.total_ms / stages, verdict(ok));
+    };
+    emit("shm clean (1 rep)", clean, true);
+    emit("shm + mid-stage kill", faulted, recovered && identical);
+
+    BenchJson("SHARD")
+        .field("workload", "recovery")
+        .field("shards", shards)
+        .field("stages", stages)
+        .field("persistent", true)
+        .field("barrier", "shm")
+        .field("recovery", true)
+        .field("respawns", static_cast<std::int64_t>(faulted.totals.respawns))
+        .field("stalls", static_cast<std::int64_t>(faulted.totals.stalls))
+        .field("replayed_rounds",
+               static_cast<std::int64_t>(faulted.totals.replayed_rounds))
+        .field("degraded", static_cast<std::int64_t>(faulted.totals.degraded))
+        .field("clean_wall_ms", clean.total_ms)
+        .field("wall_ms", faulted.total_ms)
+        .field("replay_overhead_ms", faulted.total_ms - clean.total_ms)
+        .field("replay_overhead_x",
+               faulted.total_ms / std::max(clean.total_ms, 1e-9))
+        .field("identical", identical)
+        .print();
+  }
   t.print();
   std::cout << "\npersist+shm pays zero per-round control frames (the frame "
                "barrier pays 2 frames/shard/round); its residual "
                "ctl_frames/round is the per-stage STAGE_BEGIN/STAGE_END pair "
                "amortized over the stage's rounds. All sharded rows are "
-               "asserted bit-identical to the in-process oracle.\n";
+               "asserted bit-identical to the in-process oracle; the "
+               "mid-stage-kill row is asserted bit-identical to the clean "
+               "run after respawn + replay.\n";
   return exit_code;
 }
 

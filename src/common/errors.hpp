@@ -25,12 +25,17 @@
 
 namespace deltacolor {
 
-/// Failure taxonomy. kProcessKill never appears in a CellError — it is a
-/// FaultInjector-only action (simulating a SIGKILL mid-sweep for the
-/// journal/--resume round-trip tests, or killing one shard worker when the
-/// spec carries round/shard coordinates). A shard worker that dies under
-/// the proc backend surfaces in the *coordinator* as kWorkerDeath, which
-/// flows through the same retry/quarantine policy as every other category.
+/// Failure taxonomy. kProcessKill, kWorkerHang and kTornSlab never appear
+/// in a CellError — they are FaultInjector-only actions (simulating a
+/// SIGKILL mid-sweep for the journal/--resume round-trip tests, killing or
+/// hanging one shard worker when the spec carries round/shard coordinates,
+/// or publishing a deliberately corrupt halo slab). A shard worker that
+/// dies under the proc backend surfaces in the *coordinator* as
+/// kWorkerDeath (control-channel EOF) or kWorkerStall (live process whose
+/// barrier epoch stopped advancing past the watchdog deadline); both flow
+/// through the pool's respawn/replay recovery first and only reach the
+/// retry/quarantine policy once the respawn budget is exhausted with
+/// degradation disabled.
 enum class FaultCategory {
   kInvariantViolation,   ///< oracle found an improper partial/final coloring
   kRoundBudgetExceeded,  ///< cell consumed more simulated rounds than allowed
@@ -38,7 +43,10 @@ enum class FaultCategory {
   kAllocationLimit,      ///< scratch arena byte budget exhausted
   kEngineException,      ///< any other exception escaping the cell
   kProcessKill,          ///< injector-only: hard process exit (resume tests)
-  kWorkerDeath,          ///< a shard worker process died mid-stage
+  kWorkerDeath,          ///< a shard worker process died mid-stage (EOF)
+  kWorkerStall,          ///< a live shard worker stopped advancing its epoch
+  kWorkerHang,           ///< injector-only: spin a shard worker forever
+  kTornSlab,             ///< injector-only: publish a corrupt halo slab
 };
 
 constexpr std::string_view to_string(FaultCategory c) {
@@ -50,6 +58,9 @@ constexpr std::string_view to_string(FaultCategory c) {
     case FaultCategory::kEngineException: return "engine-exception";
     case FaultCategory::kProcessKill: return "process-kill";
     case FaultCategory::kWorkerDeath: return "worker-death";
+    case FaultCategory::kWorkerStall: return "worker-stall";
+    case FaultCategory::kWorkerHang: return "worker-hang";
+    case FaultCategory::kTornSlab: return "torn-slab";
   }
   return "unknown";
 }
@@ -61,7 +72,8 @@ inline bool parse_fault_category(std::string_view name, FaultCategory* out) {
        {FaultCategory::kInvariantViolation, FaultCategory::kRoundBudgetExceeded,
         FaultCategory::kWallClockTimeout, FaultCategory::kAllocationLimit,
         FaultCategory::kEngineException, FaultCategory::kProcessKill,
-        FaultCategory::kWorkerDeath}) {
+        FaultCategory::kWorkerDeath, FaultCategory::kWorkerStall,
+        FaultCategory::kWorkerHang, FaultCategory::kTornSlab}) {
     if (name == to_string(c)) {
       *out = c;
       return true;

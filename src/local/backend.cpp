@@ -5,6 +5,7 @@
 #include <cstring>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "common/check.hpp"
 #include "local/shard_runner.hpp"
@@ -36,11 +37,42 @@ const char* barrier_mode_name(BarrierMode mode) {
   return "auto";
 }
 
+namespace {
+
+int env_int(const char* name, int fallback, int min_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* rest = nullptr;
+  const long n = std::strtol(env, &rest, 10);
+  if (rest == nullptr || *rest != '\0' || n < min_value) return fallback;
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+int resolve_shard_stall_ms(int requested) {
+  if (requested >= 0) return requested;
+  return env_int("DELTACOLOR_SHARD_STALL_MS", /*fallback=*/0, /*min=*/0);
+}
+
+int resolve_shard_respawn_budget(int requested) {
+  if (requested >= 0) return requested;
+  return env_int("DELTACOLOR_SHARD_RESPAWNS", /*fallback=*/2, /*min=*/0);
+}
+
+bool resolve_shard_degrade() {
+  const char* env = std::getenv("DELTACOLOR_SHARD_DEGRADE");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 ProcShardedBackend::ProcShardedBackend(int shards, bool persistent,
                                        BarrierMode barrier)
     : shards_(shards),
       persistent_(persistent),
-      barrier_(resolve_barrier_mode(barrier)) {
+      barrier_(resolve_barrier_mode(barrier)),
+      stall_ms_(resolve_shard_stall_ms(-1)),
+      respawn_budget_(resolve_shard_respawn_budget(-1)),
+      degrade_(resolve_shard_degrade()) {
   DC_CHECK_MSG(shards >= 1, "ProcShardedBackend needs at least one shard");
   totals_.ghost_bytes_in.assign(static_cast<std::size_t>(shards), 0);
   totals_.boundary_bytes_out.assign(static_cast<std::size_t>(shards), 0);
@@ -49,41 +81,52 @@ ProcShardedBackend::ProcShardedBackend(int shards, bool persistent,
 }
 
 void ProcShardedBackend::prepare(const Graph& g) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& plan : plans_)
-    if (plan->graph == &g) return;
-  // Forking a worker for a shard that owns zero nodes buys nothing and
-  // skews the accounting, so clamp to the largest count with no empty
-  // shard — with a startup warning so `--shards=N` users see why fewer
-  // workers appear.
-  const int effective = effective_shard_count(g, shards_);
-  if (effective < shards_)
-    std::cerr << "deltacolor: clamping shards " << shards_ << " -> "
-              << effective << " (graph of " << g.num_nodes()
-              << " nodes leaves " << (shards_ - effective)
-              << " shard(s) empty)\n";
-  if (totals_.effective_shards == 0 || effective > totals_.effective_shards)
-    totals_.effective_shards = effective;
-  // Per-shard accounting follows the shards that actually exist: a clamped
-  // prepare shrinks the vectors so reports and tests never show phantom
-  // rows for never-forked workers. (Widest plan wins when several graphs
-  // are prepared; per-stage stats index by the stage's own manifest.)
-  if (static_cast<int>(totals_.ghost_bytes_in.size()) > effective &&
-      totals_.effective_shards == effective) {
-    totals_.ghost_bytes_in.resize(static_cast<std::size_t>(effective));
-    totals_.boundary_bytes_out.resize(static_cast<std::size_t>(effective));
-    totals_.barrier_wait_ns.resize(static_cast<std::size_t>(effective));
-    totals_.halo_publish_ns.resize(static_cast<std::size_t>(effective));
+  // Lock order: the stage path holds the pool's stage slot (its mutex)
+  // across note_stage(), so the canonical order is pool before backend —
+  // never acquire the pool lock while holding ours. Spawning happens
+  // after the backend lock is dropped.
+  ShardWorkerPool* spawn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& plan : plans_)
+      if (plan->graph == &g) return;
+    // Forking a worker for a shard that owns zero nodes buys nothing and
+    // skews the accounting, so clamp to the largest count with no empty
+    // shard — with a startup warning so `--shards=N` users see why fewer
+    // workers appear.
+    const int effective = effective_shard_count(g, shards_);
+    if (effective < shards_)
+      std::cerr << "deltacolor: clamping shards " << shards_ << " -> "
+                << effective << " (graph of " << g.num_nodes()
+                << " nodes leaves " << (shards_ - effective)
+                << " shard(s) empty)\n";
+    if (totals_.effective_shards == 0 || effective > totals_.effective_shards)
+      totals_.effective_shards = effective;
+    // Per-shard accounting follows the shards that actually exist: a clamped
+    // prepare shrinks the vectors so reports and tests never show phantom
+    // rows for never-forked workers. (Widest plan wins when several graphs
+    // are prepared; per-stage stats index by the stage's own manifest.)
+    if (static_cast<int>(totals_.ghost_bytes_in.size()) > effective &&
+        totals_.effective_shards == effective) {
+      totals_.ghost_bytes_in.resize(static_cast<std::size_t>(effective));
+      totals_.boundary_bytes_out.resize(static_cast<std::size_t>(effective));
+      totals_.barrier_wait_ns.resize(static_cast<std::size_t>(effective));
+      totals_.halo_publish_ns.resize(static_cast<std::size_t>(effective));
+    }
+    auto plan = std::make_unique<ShardPlan>();
+    plan->graph = &g;
+    plan->manifest = ShardManifest::build(g, effective);
+    plan->pool = std::make_unique<ShardWorkerPool>(*plan, persistent_, barrier_,
+                                                   stall_ms_, respawn_budget_);
+    if (persistent_) spawn = plan->pool.get();
+    plans_.push_back(std::move(plan));
   }
-  auto plan = std::make_unique<ShardPlan>();
-  plan->graph = &g;
-  plan->manifest = ShardManifest::build(g, effective);
-  plan->pool = std::make_unique<ShardWorkerPool>(*plan, persistent_, barrier_);
   // Fork before any stage state exists: the workers' inherited image is
   // just the graph + manifest, and everything per-stage arrives by wire or
-  // through the shared plane.
-  if (persistent_) plan->pool->spawn_now();
-  plans_.push_back(std::move(plan));
+  // through the shared plane. Racing a concurrent run_stage is fine —
+  // spawn_now() is a no-op once the pool is live, and plans are
+  // append-only so the pool outlives this call.
+  if (spawn != nullptr) spawn->spawn_now();
 }
 
 const ShardPlan* ProcShardedBackend::plan_for(const Graph& g) {
@@ -156,15 +199,63 @@ void ProcShardedBackend::note_fallback() {
   ++totals_.fallback_stages;
 }
 
-ProcShardedBackend::Totals ProcShardedBackend::totals() const {
+void ProcShardedBackend::set_stall_ms(int ms) {
   std::lock_guard<std::mutex> lock(mu_);
-  Totals t = totals_;
-  for (const auto& plan : plans_) {
-    if (plan->pool == nullptr) continue;
-    const ShardWorkerPool::Stats s = plan->pool->stats();
+  stall_ms_ = ms < 0 ? 0 : ms;
+}
+
+void ProcShardedBackend::set_respawn_budget(int budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  respawn_budget_ = budget < 0 ? 0 : budget;
+}
+
+void ProcShardedBackend::set_degrade(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  degrade_ = on;
+}
+
+int ProcShardedBackend::stall_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_ms_;
+}
+
+int ProcShardedBackend::respawn_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return respawn_budget_;
+}
+
+bool ProcShardedBackend::degrade_on_worker_failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degrade_;
+}
+
+void ProcShardedBackend::note_degraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.degraded;
+}
+
+ProcShardedBackend::Totals ProcShardedBackend::totals() const {
+  // Same lock order as prepare(): snapshot the pool list under our mutex,
+  // then query each pool unlocked — pool->stats() takes the pool mutex,
+  // which the stage path holds while calling note_stage() on us. Plans are
+  // append-only, so the raw pointers stay valid after the lock is dropped.
+  Totals t;
+  std::vector<const ShardWorkerPool*> pools;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t = totals_;
+    pools.reserve(plans_.size());
+    for (const auto& plan : plans_)
+      if (plan->pool != nullptr) pools.push_back(plan->pool.get());
+  }
+  for (const ShardWorkerPool* pool : pools) {
+    const ShardWorkerPool::Stats s = pool->stats();
     t.forks += s.forks;
     t.stage_reuse += s.reused;
     t.shm_bytes += s.shm_bytes;
+    t.respawns += s.respawns;
+    t.stalls += s.stalls;
+    t.replayed_rounds += s.replayed_rounds;
   }
   return t;
 }
@@ -204,7 +295,10 @@ std::string ProcShardedBackend::report() const {
      << " shm_bytes=" << t.shm_bytes
      << " barrier=" << barrier_mode_name(barrier_)
      << " ctl_frames=" << t.ctl_frames << " ctl_frames_per_round="
-     << (t.rounds > 0 ? t.ctl_frames / t.rounds : 0);
+     << (t.rounds > 0 ? t.ctl_frames / t.rounds : 0)
+     << " respawns=" << t.respawns << " stalls=" << t.stalls
+     << " replayed_rounds=" << t.replayed_rounds
+     << " degraded=" << t.degraded;
   if (mf != nullptr) os << " cut_edges=" << mf->cut_edges;
   return os.str();
 }

@@ -57,6 +57,17 @@ enum class BarrierMode {
 BarrierMode resolve_barrier_mode(BarrierMode mode);
 const char* barrier_mode_name(BarrierMode mode);
 
+/// Stall-watchdog deadline: `requested` >= 0 passes through; -1 resolves
+/// DELTACOLOR_SHARD_STALL_MS (default 0 = watchdog off, so tests and
+/// library embedders opt in explicitly; the dcolor CLI turns it on).
+int resolve_shard_stall_ms(int requested);
+/// Respawn budget per dispatched stage: `requested` >= 0 passes through;
+/// -1 resolves DELTACOLOR_SHARD_RESPAWNS (default 2).
+int resolve_shard_respawn_budget(int requested);
+/// In-process degradation on budget exhaustion: DELTACOLOR_SHARD_DEGRADE
+/// ("0" disables), default on.
+bool resolve_shard_degrade();
+
 /// A prepared shard split of one host graph, plus its live worker pool:
 /// prepare() forks the pool's workers once, and every sharded stage on the
 /// graph is dispatched to them (shard_runner.hpp). Address-stable — pool
@@ -118,6 +129,13 @@ class ExecutionBackend {
   /// Accounting: a stage consulted this backend but ran in-process (type
   /// gates failed, or no plan covers its graph).
   virtual void note_fallback() {}
+
+  /// Whether the engine should complete a stage in-process when the pool
+  /// exhausts its respawn budget (instead of letting the CellError
+  /// propagate to the sweep's retry/quarantine policy).
+  virtual bool degrade_on_worker_failure() const { return false; }
+  /// Accounting: a stage was demoted to in-process after worker failure.
+  virtual void note_degraded() {}
 };
 
 /// The oracle placement: everything in-process. Exists so `--backend=inproc`
@@ -135,13 +153,28 @@ class ProcShardedBackend : public ExecutionBackend {
   /// stages (the default); false forks per dispatched stage — the PR 7
   /// baseline, kept selectable for the bench_shard A/B comparison.
   /// `barrier` picks the round-barrier protocol (kAuto resolves the
-  /// DELTACOLOR_BARRIER environment variable at construction).
+  /// DELTACOLOR_BARRIER environment variable at construction). Recovery
+  /// knobs default to the environment (DELTACOLOR_SHARD_STALL_MS /
+  /// _RESPAWNS / _DEGRADE) and can be overridden with the setters below
+  /// *before* the first prepare().
   explicit ProcShardedBackend(int shards, bool persistent = true,
                               BarrierMode barrier = BarrierMode::kAuto);
 
   const char* name() const override { return "proc"; }
   int shards() const { return shards_; }
   BarrierMode barrier_mode() const { return barrier_; }
+
+  /// Watchdog deadline in ms (0 = off). Applies to pools created by
+  /// subsequent prepare() calls.
+  void set_stall_ms(int ms);
+  /// Stage replays allowed before the failure propagates (or degrades).
+  void set_respawn_budget(int budget);
+  /// Whether run_sharded completes a budget-exhausted stage in-process.
+  void set_degrade(bool on);
+  int stall_ms() const;
+  int respawn_budget() const;
+  bool degrade_on_worker_failure() const override;
+  void note_degraded() override;
 
   /// Builds (once) and caches the shard manifest for `g`, maps the shared
   /// halo plane, and — for persistent backends — forks the worker pool.
@@ -164,6 +197,11 @@ class ProcShardedBackend : public ExecutionBackend {
     std::uint64_t stage_reuse = 0;  ///< dispatches served by a live pool
     std::uint64_t shm_bytes = 0;    ///< mapped halo-plane bytes
     std::uint64_t ctl_frames = 0;   ///< control-plane frames across stages
+    std::uint64_t respawns = 0;     ///< workers re-forked after death/stall
+    std::uint64_t stalls = 0;       ///< watchdog-detected hung workers
+    std::uint64_t replayed_rounds = 0;  ///< rounds discarded by replays
+    std::uint64_t degraded = 0;  ///< stages completed in-process after the
+                                 ///< respawn budget ran out
     int effective_shards = 0;  ///< shard count after empty-shard clamping
                                ///< (0 until the first prepare())
     std::vector<std::uint64_t> ghost_bytes_in;      // per shard
@@ -186,6 +224,9 @@ class ProcShardedBackend : public ExecutionBackend {
   const int shards_;
   const bool persistent_;
   const BarrierMode barrier_;
+  int stall_ms_;        ///< watchdog deadline for new pools (0 = off)
+  int respawn_budget_;  ///< replays per stage for new pools
+  bool degrade_;        ///< complete budget-exhausted stages in-process
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ShardPlan>> plans_;
   Totals totals_;

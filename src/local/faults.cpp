@@ -1,8 +1,10 @@
 #include "local/faults.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -54,13 +56,79 @@ bool parse_double(std::string_view v, double* out) {
   return true;
 }
 
+/// Edit distance for the did-you-mean suggestions: small strings only, so
+/// the O(len^2) two-row dynamic program is plenty.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Closest candidate within edit distance 3, or "" when nothing is close
+/// enough to be a plausible typo.
+std::string_view closest_of(std::string_view name,
+                            const std::vector<std::string_view>& candidates) {
+  std::string_view best;
+  std::size_t best_d = 4;
+  for (const std::string_view c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string_view> category_names() {
+  std::vector<std::string_view> names;
+  for (const FaultCategory c :
+       {FaultCategory::kInvariantViolation, FaultCategory::kRoundBudgetExceeded,
+        FaultCategory::kWallClockTimeout, FaultCategory::kAllocationLimit,
+        FaultCategory::kEngineException, FaultCategory::kProcessKill,
+        FaultCategory::kWorkerDeath, FaultCategory::kWorkerStall,
+        FaultCategory::kWorkerHang, FaultCategory::kTornSlab})
+    names.push_back(to_string(c));
+  return names;
+}
+
+const std::vector<std::string_view>& spec_keys() {
+  static const std::vector<std::string_view> keys = {
+      "cell",     "round",        "node",    "shard",
+      "attempts", "extra_rounds", "sleep_ms", "phase"};
+  return keys;
+}
+
+void set_unknown_name_error(std::string_view what, std::string_view name,
+                            const std::vector<std::string_view>& candidates,
+                            std::string* error) {
+  if (error == nullptr) return;
+  std::string msg = "unknown fault " + std::string(what) + " '" +
+                    std::string(name) + "'";
+  const std::string_view hint = closest_of(name, candidates);
+  if (!hint.empty()) msg += " — did you mean '" + std::string(hint) + "'?";
+  *error = msg;
+}
+
 }  // namespace
 
-bool parse_fault_spec(std::string_view text, FaultSpec* out) {
+bool parse_fault_spec(std::string_view text, FaultSpec* out,
+                      std::string* error) {
   FaultSpec spec;
   const std::size_t at = text.find('@');
   const std::string_view name = text.substr(0, at);
-  if (!parse_fault_category(name, &spec.category)) return false;
+  if (!parse_fault_category(name, &spec.category)) {
+    set_unknown_name_error("category", name, category_names(), error);
+    return false;
+  }
   std::string_view rest =
       at == std::string_view::npos ? std::string_view{} : text.substr(at + 1);
   while (!rest.empty()) {
@@ -69,7 +137,12 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out) {
     rest = comma == std::string_view::npos ? std::string_view{}
                                            : rest.substr(comma + 1);
     const std::size_t eq = pair.find('=');
-    if (eq == std::string_view::npos) return false;
+    if (eq == std::string_view::npos) {
+      if (error != nullptr)
+        *error = "malformed fault pair '" + std::string(pair) +
+                 "' (expected key=value)";
+      return false;
+    }
     const std::string_view key = pair.substr(0, eq);
     const std::string_view value = pair.substr(eq + 1);
     std::int64_t n = 0;
@@ -88,10 +161,25 @@ bool parse_fault_spec(std::string_view text, FaultSpec* out) {
     if (key == "extra_rounds" && parse_int(value, &spec.extra_rounds))
       continue;
     if (key == "sleep_ms" && parse_double(value, &spec.sleep_ms)) continue;
+    // A recognized key with an unparsable value is a value error; an
+    // unrecognized key gets the did-you-mean treatment.
+    bool known = false;
+    for (const std::string_view k : spec_keys()) known = known || k == key;
+    if (known) {
+      if (error != nullptr)
+        *error = "bad value '" + std::string(value) + "' for fault key '" +
+                 std::string(key) + "'";
+    } else {
+      set_unknown_name_error("key", key, spec_keys(), error);
+    }
     return false;
   }
   *out = spec;
   return true;
+}
+
+bool parse_fault_spec(std::string_view text, FaultSpec* out) {
+  return parse_fault_spec(text, out, nullptr);
 }
 
 void FaultInjector::snapshot(std::vector<FaultSpec>* specs,
@@ -206,9 +294,17 @@ FaultInjector::FaultInjector() {
     const std::string_view one = text.substr(0, semi);
     text = semi == std::string_view::npos ? std::string_view{}
                                           : text.substr(semi + 1);
+    if (one.empty()) continue;
     FaultSpec spec;
-    if (!one.empty() && parse_fault_spec(one, &spec))
-      plan.push_back(std::move(spec));
+    std::string error;
+    if (!parse_fault_spec(one, &spec, &error)) {
+      // A fault plan that silently half-parses leaves the chaos test
+      // believing it injected and didn't; fail loudly and immediately.
+      std::cerr << "deltacolor: invalid DELTACOLOR_FAULTS spec '" << one
+                << "': " << error << "\n";
+      std::exit(2);
+    }
+    plan.push_back(std::move(spec));
   }
   std::uint64_t seed = 1;
   if (const char* s = std::getenv("DELTACOLOR_FAULT_SEED")) {
@@ -332,6 +428,19 @@ void FaultInjector::on_shard_round(int shard, int round) {
   // injector state is per process, and each forked worker owns a copy.
   if (claim(FaultCategory::kProcessKill, round, {}, &spec, shard))
     std::_Exit(137);
+  // A hang keeps the process alive but silent: its barrier epoch cell
+  // stops advancing and its control channel stays open, which is exactly
+  // the failure mode the coordinator's stall watchdog exists to catch.
+  // Sleeping in 1ms slices burns no CPU and dies instantly to SIGKILL.
+  if (claim(FaultCategory::kWorkerHang, round, {}, &spec, shard)) {
+    for (;;)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool FaultInjector::on_slab_publish(int shard, int round) {
+  FaultSpec spec;
+  return claim(FaultCategory::kTornSlab, round, {}, &spec, shard);
 }
 
 void FaultInjector::on_alloc_growth(std::size_t bytes) {

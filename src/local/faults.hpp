@@ -21,9 +21,21 @@
 //                         with round= (and optionally shard=) coordinates it
 //                         instead fires inside a proc-backend shard worker's
 //                         round loop, killing that worker process — the
-//                         coordinator then reports a structured worker-death
-//                         CellError (round=-1 specs never match worker sites,
-//                         and round>=0 specs never match cell start)
+//                         coordinator detects the control-channel EOF and
+//                         runs the respawn/replay recovery (round=-1 specs
+//                         never match worker sites, and round>=0 specs never
+//                         match cell start)
+//   kWorkerHang         — spin a proc-backend shard worker forever at the
+//                         matched (round, shard) coordinate: the process
+//                         stays alive but its barrier epoch stops advancing,
+//                         exercising the coordinator's stall watchdog (the
+//                         spin sleeps in 1ms slices so it burns no CPU and
+//                         dies instantly to the watchdog's SIGKILL)
+//   kTornSlab           — publish a deliberately corrupt halo slab (bogus
+//                         record count) at the matched (round, shard), so a
+//                         peer's seqlock open() detects the tear and the
+//                         structured TransportError path is exercised end
+//                         to end
 //
 // Determinism: a spec fires iff its coordinates match the thread-local
 // (cell, attempt) installed by the SweepDriver plus the probe-site (round,
@@ -45,7 +57,12 @@
 //   cell= round= phase= node= shard= attempts= extra_rounds= sleep_ms=
 // (attempts=N fires on the first N attempts of a cell, default 1, so a
 // retried cell succeeds; attempts=0 means every attempt, forcing
-// quarantine).
+// quarantine — or, for worker faults, exhausting the respawn budget).
+// A malformed DELTACOLOR_FAULTS value — unknown category, unknown key,
+// or a bad pair — is a hard error: the injector prints the offending
+// spec with a did-you-mean suggestion to stderr and exits with status 2,
+// because an armed fault plan that silently half-parses is worse than no
+// plan at all (the chaos test believes it is injecting and isn't).
 #pragma once
 
 #include <atomic>
@@ -80,6 +97,13 @@ struct FaultSpec {
 /// Parses one spec string ("category@k=v,..."). Returns false on grammar
 /// errors (unknown category / key, malformed pair).
 bool parse_fault_spec(std::string_view text, FaultSpec* out);
+
+/// As above, but on failure fills `error` with a one-line description of
+/// what was wrong — including a did-you-mean suggestion when the unknown
+/// category or key is within edit distance 3 of a real one (mirroring the
+/// algorithm registry's suggestion behavior).
+bool parse_fault_spec(std::string_view text, FaultSpec* out,
+                      std::string* error);
 
 /// Wire image of the injector's armed state plus the calling thread's
 /// (cell, attempt) coordinates. Persistent shard workers are forked once
@@ -159,8 +183,16 @@ class FaultInjector {
   /// re-armed from the FaultWire shipped in its STAGE_BEGIN frame): fires
   /// process-kill specs with round (and optionally shard) coordinates via
   /// std::_Exit(137), so the coordinator's worker-death detection is
-  /// exercised against a genuinely dead process.
+  /// exercised against a genuinely dead process; fires worker-hang specs
+  /// as an infinite 1ms-sleep loop, so the stall watchdog is exercised
+  /// against a genuinely live-but-stuck process.
   void on_shard_round(int shard, int round);
+
+  /// Proc-backend halo publish site (runs in the pool worker just before
+  /// it publishes its round-`round` boundary slab): returns true when a
+  /// torn-slab spec matches, telling the caller to publish a deliberately
+  /// corrupt slab (bogus record count) so a peer's seqlock open() trips.
+  bool on_slab_publish(int shard, int round);
 
   /// ScratchArena growth (installed as the arena's alloc probe while
   /// armed): throws an allocation-limit CellError on match.

@@ -54,6 +54,10 @@ HaloPlane::HaloPlane(const ShardManifest& mf, std::size_t num_nodes,
   state_off_ = off;
   state_cap_ = round_up(num_nodes * kMaxShardStateBytes, kLine);
   off += state_cap_;
+  for (std::size_t parity = 0; parity < 2; ++parity) {
+    snap_offs_[parity] = off;
+    off += state_cap_;
+  }
   aux_off_ = off;
   aux_cap_ = round_up(aux_capacity, kLine);
   off += aux_cap_;
@@ -94,6 +98,8 @@ HaloPlane& HaloPlane::operator=(HaloPlane&& other) noexcept {
   slab_caps_ = std::move(other.slab_caps_);
   state_off_ = other.state_off_;
   state_cap_ = std::exchange(other.state_cap_, 0);
+  snap_offs_[0] = other.snap_offs_[0];
+  snap_offs_[1] = other.snap_offs_[1];
   aux_off_ = other.aux_off_;
   aux_cap_ = std::exchange(other.aux_cap_, 0);
   aux_used_ = std::exchange(other.aux_used_, 0);

@@ -31,6 +31,16 @@
 //             kMaxShardStateBytes): the coordinator broadcasts initial
 //             state with one memcpy, workers bulk-load it, and at HALT each
 //             worker writes back exactly its owned slice;
+//   snapshots two more state-image-sized regions holding the stage-entry
+//             state, double-buffered by a per-stage parity the coordinator
+//             stamps into STAGE_BEGIN. Workers load their initial state
+//             from the snapshot (never from `states`, which they mutate at
+//             finish), so a stage whose worker died or stalled mid-flight
+//             can be replayed bit-identically against the untouched entry
+//             image with zero restore copies. Two buffers isolate
+//             consecutive stages: stage k+1's broadcast never lands on the
+//             snapshot a straggling stage-k replay might still read.
+//             NORESERVE keeps never-replayed capacity free;
 //   aux       a bump arena for read-only data shipped alongside closures
 //             (SyncRunner::ship / ship_flag): lookup tables, color lists,
 //             sticky failure flags. Reset when the plan's stage slot is
@@ -138,6 +148,16 @@ class HaloPlane {
   const std::uint8_t* state_bytes() const { return base_ + state_off_; }
   std::size_t state_capacity() const { return state_cap_; }
 
+  /// Stage-entry snapshot image of the given parity (0 or 1); same
+  /// capacity as the state image. The coordinator writes it once per
+  /// dispatched stage, workers (and replays) only read it.
+  std::uint8_t* snapshot_bytes(int parity) {
+    return base_ + snap_offs_[static_cast<std::size_t>(parity & 1)];
+  }
+  const std::uint8_t* snapshot_bytes(int parity) const {
+    return base_ + snap_offs_[static_cast<std::size_t>(parity & 1)];
+  }
+
   /// Worker: stamp shard `s`'s final-state slice as written (release).
   void publish_final(int shard, std::uint64_t epoch);
   /// Coordinator: true iff shard `s` stamped exactly `epoch` (acquire).
@@ -188,6 +208,7 @@ class HaloPlane {
   std::vector<std::size_t> slab_caps_;  // per shard: record bytes capacity
   std::size_t state_off_ = 0;
   std::size_t state_cap_ = 0;
+  std::size_t snap_offs_[2] = {0, 0};
   std::size_t aux_off_ = 0;
   std::size_t aux_cap_ = 0;
   std::size_t aux_used_ = 0;

@@ -5,7 +5,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,6 +20,14 @@ namespace deltacolor {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ms_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
 template <typename T>
 void put_raw(const T& v, std::vector<std::uint8_t>* out) {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -28,10 +38,14 @@ void put_raw(const T& v, std::vector<std::uint8_t>* out) {
 /// STAGE_BEGIN payload; see the header comment for the layout. The fault
 /// wire is snapshotted at dispatch time on the dispatching thread, so the
 /// worker sees exactly the (plan, seed, cell, attempt) context the
-/// coordinator's stage would have seen.
+/// coordinator's stage would have seen — with the attempt index bumped by
+/// `replay`, so a default fire-once fault that killed attempt 0 does not
+/// re-fire on the replay, while an attempts=0 (every-attempt) fault does
+/// and deterministically exhausts the respawn budget.
 std::vector<std::uint8_t> encode_stage_begin(const StageWire& wire,
                                              std::uint64_t stage_id,
-                                             int max_rounds, bool frames) {
+                                             int max_rounds, bool frames,
+                                             int snap_parity, int replay) {
   std::vector<std::uint8_t> out;
   put_raw<std::uint64_t>(
       reinterpret_cast<std::uint64_t>(
@@ -45,7 +59,10 @@ std::vector<std::uint8_t> encode_stage_begin(const StageWire& wire,
   put_raw<std::uint32_t>(static_cast<std::uint32_t>(wire.done_bytes.size()),
                          &out);
   put_raw<std::uint8_t>(frames ? 1 : 0, &out);
-  encode_fault_wire(snapshot_fault_wire(), &out);
+  put_raw<std::uint8_t>(static_cast<std::uint8_t>(snap_parity & 1), &out);
+  FaultWire fw = snapshot_fault_wire();
+  fw.attempt += replay;
+  encode_fault_wire(fw, &out);
   out.insert(out.end(), wire.step_bytes.begin(), wire.step_bytes.end());
   out.insert(out.end(), wire.done_bytes.begin(), wire.done_bytes.end());
   return out;
@@ -99,11 +116,35 @@ bool control_channel_dead(const FrameChannel& ch) {
   return rc > 0 && pfd.revents != 0;
 }
 
+void worker_poll_control(FrameChannel& ch) {
+  struct pollfd pfd = {ch.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, 0);
+  if (rc < 0) {
+    if (errno == EINTR || errno == EAGAIN) return;
+    std::_Exit(1);
+  }
+  if (rc == 0 || pfd.revents == 0) return;
+  Frame f;
+  bool got = false;
+  try {
+    got = ch.recv(&f);
+  } catch (...) {
+    std::_Exit(1);
+  }
+  if (!got) std::_Exit(1);  // coordinator vanished mid-stage
+  if (f.type == FrameType::kStageAbort) throw StageAbortSignal{};
+  if (f.type == FrameType::kShutdown) std::_Exit(0);
+  std::_Exit(1);  // anything else mid-stage is a protocol violation
+}
+
 ShardWorkerPool::ShardWorkerPool(const ShardPlan& plan, bool persistent,
-                                 BarrierMode barrier)
+                                 BarrierMode barrier, int stall_ms,
+                                 int respawn_budget)
     : plan_(plan),
       persistent_(persistent),
       barrier_(resolve_barrier_mode(barrier)),
+      stall_ms_(resolve_shard_stall_ms(stall_ms)),
+      respawn_budget_(resolve_shard_respawn_budget(respawn_budget)),
       plane_(plan.manifest, plan.graph->num_nodes(),
              /*aux_capacity=*/16 * plan.graph->num_nodes() +
                  32 * plan.graph->num_edges() + (1u << 20)) {
@@ -125,27 +166,44 @@ void ShardWorkerPool::spawn_locked() {
   const int shards = plan_.manifest.num_shards();
   DC_CHECK(chans_.empty());
   live_ = true;  // teardown_locked() cleans up a partially-spawned pool
-  chans_.reserve(static_cast<std::size_t>(shards));
+  chans_.resize(static_cast<std::size_t>(shards));  // invalid until spawned
   pids_.assign(static_cast<std::size_t>(shards), -1);
-  // Parent stdio is flushed once so a child's inherited buffers never
-  // replay half-written lines (children write nothing themselves, but
-  // _Exit on an inherited non-empty buffer is the classic dup-output bug).
+  for (int s = 0; s < shards; ++s) spawn_worker_locked(s);
+}
+
+void ShardWorkerPool::spawn_worker_locked(int s) {
+  const std::size_t si = static_cast<std::size_t>(s);
+  DC_CHECK(pids_[si] <= 0 && !chans_[si].valid());
+  // Parent stdio is flushed so a child's inherited buffers never replay
+  // half-written lines (children write nothing themselves, but _Exit on an
+  // inherited non-empty buffer is the classic dup-output bug).
   std::fflush(nullptr);
-  for (int s = 0; s < shards; ++s) {
-    auto [parent_end, child_end] = FrameChannel::open_pair();
-    const int keep = child_end.fd();
-    const pid_t pid = FdRegistry::global().fork_with_only(&keep, 1);
-    if (pid < 0) throw TransportError("fork failed for shard worker");
-    if (pid == 0) {
-      // Child: the parent ends registered by other pools (and this one)
-      // are already closed by fork_with_only; park in the control loop.
-      shard_worker_loop(plan_, plane_, s, child_end);
-    }
-    pids_[static_cast<std::size_t>(s)] = pid;
-    child_end.close();  // parent keeps only its own end
-    chans_.push_back(std::move(parent_end));
-    ++stats_.forks;
+  auto [parent_end, child_end] = FrameChannel::open_pair();
+  const int keep = child_end.fd();
+  const pid_t pid = FdRegistry::global().fork_with_only(&keep, 1);
+  if (pid < 0) throw TransportError("fork failed for shard worker");
+  if (pid == 0) {
+    // Child: the parent ends registered by other pools (and this one)
+    // are already closed by fork_with_only; park in the control loop.
+    shard_worker_loop(plan_, plane_, s, child_end);
   }
+  pids_[si] = pid;
+  child_end.close();  // parent keeps only its own end
+  chans_[si] = std::move(parent_end);
+  ++stats_.forks;
+}
+
+void ShardWorkerPool::kill_worker_locked(int s) {
+  const std::size_t si = static_cast<std::size_t>(s);
+  const pid_t pid = pids_[si];
+  if (pid > 0) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    pids_[si] = -1;
+  }
+  chans_[si].close();
 }
 
 void ShardWorkerPool::teardown_locked() {
@@ -215,43 +273,147 @@ ShardWorkerPool::StageResult ShardWorkerPool::run_stage(
   else
     spawn_locked();
 
-  const std::uint64_t stage_id = next_stage_id_++;
-  std::memcpy(plane_.state_bytes(), states, state_bytes);
+  // Stage-entry snapshot: workers load their initial state from here (and
+  // only from here), so every replay of this stage starts from the
+  // identical image with zero restore copies. The parity alternates per
+  // *logical* stage, not per attempt — a straggling survivor of stage k
+  // must never find stage k+1's broadcast under its feet, while replays of
+  // stage k read the very same buffer.
+  snap_parity_ ^= 1;
+  std::memcpy(plane_.snapshot_bytes(snap_parity_), states, state_bytes);
+
   const bool frames = barrier_ == BarrierMode::kFrames;
-  const std::vector<std::uint8_t> begin =
-      encode_stage_begin(wire, stage_id, max_rounds, frames);
-  StageResult res;
-  res.stats.ghost_bytes_in.assign(
-      static_cast<std::size_t>(plan_.manifest.num_shards()), 0);
-  res.stats.boundary_bytes_out.assign(
-      static_cast<std::size_t>(plan_.manifest.num_shards()), 0);
-  res.stats.barrier_wait_ns.resize(
-      static_cast<std::size_t>(plan_.manifest.num_shards()));
-  res.stats.halo_publish_ns.resize(
-      static_cast<std::size_t>(plan_.manifest.num_shards()));
-  try {
-    for (int s = 0; s < plan_.manifest.num_shards(); ++s) {
-      try {
-        chans_[static_cast<std::size_t>(s)].send(FrameType::kStageBegin,
-                                                 begin);
-      } catch (const TransportError&) {
-        die_worker(s, -1, "died");
+  const std::size_t record_size = 4 + wire.state_size;
+  int budget = respawn_budget_;
+  int replay = 0;
+  for (;;) {
+    // A fresh stage id per attempt is the whole replay story: barrier
+    // cells and slab epochs are monotonic across the pool's lifetime, so
+    // whatever the aborted attempt left behind reads as "not yet arrived".
+    const std::uint64_t stage_id = next_stage_id_++;
+    const std::vector<std::uint8_t> begin = encode_stage_begin(
+        wire, stage_id, max_rounds, frames, snap_parity_, replay);
+    StageResult res;
+    res.stats.ghost_bytes_in.assign(
+        static_cast<std::size_t>(plan_.manifest.num_shards()), 0);
+    res.stats.boundary_bytes_out.assign(
+        static_cast<std::size_t>(plan_.manifest.num_shards()), 0);
+    res.stats.barrier_wait_ns.resize(
+        static_cast<std::size_t>(plan_.manifest.num_shards()));
+    res.stats.halo_publish_ns.resize(
+        static_cast<std::size_t>(plan_.manifest.num_shards()));
+    try {
+      dispatch_attempt_locked(begin, stage_id, record_size, max_rounds, &res);
+      std::memcpy(states, plane_.state_bytes(), state_bytes);
+      stats_.ctl_frames += res.stats.ctl_frames;
+      if (!persistent_) teardown_locked();
+      return res;
+    } catch (const WorkerFailure& wf) {
+      if (wf.category == FaultCategory::kWorkerStall) ++stats_.stalls;
+      if (budget <= 0) {
+        // Budget exhausted: surface the structured failure. The pool is
+        // torn down (the next dispatch reforks) and `states` was never
+        // written, so a caller that catches this — SyncRunner's in-process
+        // degradation — still holds its intact pre-stage state.
+        teardown_locked();
+        ErrorContext ctx;
+        ctx.round = wf.round;
+        throw CellError(wf.category, wf.detail, ctx);
       }
-      ++res.stats.ctl_frames;
+      --budget;
+      ++replay;
+      stats_.replayed_rounds +=
+          static_cast<std::uint64_t>(std::max(wf.round, 0));
+      recover_locked(wf.shard);
+    } catch (...) {
+      // Non-recoverable (worker-reported exception, protocol violation,
+      // transport breakdown): a failed stage never leaks processes; the
+      // next dispatch reforks. The SIGKILLs also unblock any surviving
+      // worker parked in a barrier futex wait for the dead one.
+      teardown_locked();
+      throw;
     }
-    if (frames) drive_frames_locked(max_rounds, &res);
-    await_ends_locked(stage_id, 4 + wire.state_size, max_rounds, &res);
-    std::memcpy(states, plane_.state_bytes(), state_bytes);
-  } catch (...) {
-    // A failed stage never leaks processes; the next dispatch reforks.
-    // The SIGKILLs also unblock any surviving worker parked in a barrier
-    // futex wait for the dead one.
-    teardown_locked();
-    throw;
   }
-  stats_.ctl_frames += res.stats.ctl_frames;
-  if (!persistent_) teardown_locked();
-  return res;
+}
+
+void ShardWorkerPool::dispatch_attempt_locked(
+    const std::vector<std::uint8_t>& begin, std::uint64_t stage_id,
+    std::size_t record_size, int max_rounds, StageResult* res) {
+  for (int s = 0; s < plan_.manifest.num_shards(); ++s) {
+    try {
+      chans_[static_cast<std::size_t>(s)].send(FrameType::kStageBegin, begin);
+    } catch (const TransportError&) {
+      throw WorkerFailure{s, -1, FaultCategory::kWorkerDeath,
+                          "shard " + std::to_string(s) +
+                              " worker died before stage dispatch"};
+    }
+    ++res->stats.ctl_frames;
+  }
+  if (barrier_ == BarrierMode::kFrames)
+    drive_frames_locked(max_rounds, res);
+  await_ends_locked(stage_id, record_size, max_rounds, res);
+}
+
+void ShardWorkerPool::recover_locked(int failed_shard) {
+  const int shards = plan_.manifest.num_shards();
+  std::vector<std::uint8_t> dead(static_cast<std::size_t>(shards), 0);
+  kill_worker_locked(failed_shard);
+  dead[static_cast<std::size_t>(failed_shard)] = 1;
+
+  // Quiesce the survivors: every live worker must be parked at its control
+  // loop before the replay is dispatched, or a straggler could interleave
+  // its aborted-attempt frames with the replay's.
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (dead[si] || !chans_[si].valid()) continue;
+    try {
+      chans_[si].send(FrameType::kStageAbort, nullptr, 0);
+      ++stats_.ctl_frames;
+    } catch (const TransportError&) {
+      kill_worker_locked(s);
+      dead[si] = 1;
+    }
+  }
+  // The socketpair is FIFO, so draining until the kAbortAck consumes every
+  // frame the worker queued before it observed the abort (stale barriers,
+  // a STAGE_END it got in just under the wire, even a kError).
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         std::max(stall_ms_ > 0 ? stall_ms_ : 0, 2000));
+  Frame f;
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (dead[si]) continue;
+    bool acked = false;
+    while (!acked) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      struct pollfd pfd = {chans_[si].fd(), POLLIN, 0};
+      const int rc =
+          ::poll(&pfd, 1, left > 0 ? static_cast<int>(left) : 0);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) break;  // quiesce deadline: treat the survivor as hung
+      bool ok = false;
+      try {
+        ok = chans_[si].recv(&f);
+      } catch (const TransportError&) {
+        ok = false;
+      }
+      if (!ok) break;  // survivor died while quiescing
+      ++stats_.ctl_frames;
+      acked = f.type == FrameType::kAbortAck;
+    }
+    if (!acked) {
+      kill_worker_locked(s);
+      dead[si] = 1;
+    }
+  }
+  for (int s = 0; s < shards; ++s) {
+    if (!dead[static_cast<std::size_t>(s)]) continue;
+    spawn_worker_locked(s);
+    ++stats_.respawns;
+  }
 }
 
 void ShardWorkerPool::drive_frames_locked(int max_rounds, StageResult* res) {
@@ -259,6 +421,11 @@ void ShardWorkerPool::drive_frames_locked(int max_rounds, StageResult* res) {
   DC_CHECK(static_cast<int>(chans_.size()) == shards);
 
   Frame f;
+  std::vector<std::uint8_t> got(static_cast<std::size_t>(shards), 0);
+  std::vector<struct pollfd> fds;
+  std::vector<int> owner;
+  const int poll_ms =
+      stall_ms_ > 0 ? std::clamp(stall_ms_ / 4, 10, 250) : -1;
   for (;;) {
     // Gather every shard's barrier before sending anything: no circular
     // waits (workers send their barrier unconditionally after stepping),
@@ -267,29 +434,71 @@ void ShardWorkerPool::drive_frames_locked(int max_rounds, StageResult* res) {
     // [u32 applied] — validated up front; the record payloads themselves
     // live in the shared plane and are bounds-checked by HaloPlane::open,
     // and the byte accounting now arrives with the STAGE_END summary.
+    std::fill(got.begin(), got.end(), 0);
+    int pending = shards;
     bool all_done = true;
-    for (int s = 0; s < shards; ++s) {
-      const std::size_t si = static_cast<std::size_t>(s);
-      bool got = false;
-      try {
-        got = chans_[si].recv(&f);
-      } catch (const TransportError&) {
-        got = false;
+    const auto gather_start = Clock::now();
+    while (pending > 0) {
+      fds.clear();
+      owner.clear();
+      for (int s = 0; s < shards; ++s) {
+        if (got[static_cast<std::size_t>(s)]) continue;
+        fds.push_back({chans_[static_cast<std::size_t>(s)].fd(), POLLIN, 0});
+        owner.push_back(s);
       }
-      if (!got) die_worker(s, res->rounds, "died");
-      ++res->stats.ctl_frames;
-      if (f.type == FrameType::kError) {
-        ErrorContext ctx;
-        ctx.round = res->rounds;
-        throw CellError(
-            FaultCategory::kEngineException,
-            "shard " + std::to_string(s) + " worker: " +
-                std::string(f.payload.begin(), f.payload.end()),
-            ctx);
+      const int rc =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError("poll on worker control sockets failed");
       }
-      if (f.type != FrameType::kBarrier || f.payload.size() != 9)
-        die_worker(s, res->rounds, "sent a malformed barrier");
-      all_done &= f.payload[0] != 0;
+      if (rc == 0) {
+        // Frame-barrier watchdog: workers send their round barrier
+        // unconditionally after stepping, so once *any* peer delivered
+        // this gather, a shard silent past the deadline is hung, not
+        // merely slow-in-lockstep.
+        if (stall_ms_ > 0 && pending < shards &&
+            ms_since(gather_start) > stall_ms_) {
+          const int s = owner.front();
+          throw WorkerFailure{
+              s, res->rounds, FaultCategory::kWorkerStall,
+              "shard " + std::to_string(s) +
+                  " worker sent no barrier for round " +
+                  std::to_string(res->rounds) + " within " +
+                  std::to_string(stall_ms_) + "ms (peers delivered)"};
+        }
+        continue;
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        const int s = owner[i];
+        const std::size_t si = static_cast<std::size_t>(s);
+        bool ok = false;
+        try {
+          ok = chans_[si].recv(&f);
+        } catch (const TransportError&) {
+          ok = false;
+        }
+        if (!ok)
+          throw WorkerFailure{s, res->rounds, FaultCategory::kWorkerDeath,
+                              "shard " + std::to_string(s) +
+                                  " worker died mid-stage"};
+        ++res->stats.ctl_frames;
+        if (f.type == FrameType::kError) {
+          ErrorContext ctx;
+          ctx.round = res->rounds;
+          throw CellError(
+              FaultCategory::kEngineException,
+              "shard " + std::to_string(s) + " worker: " +
+                  std::string(f.payload.begin(), f.payload.end()),
+              ctx);
+        }
+        if (f.type != FrameType::kBarrier || f.payload.size() != 9)
+          die_worker(s, res->rounds, "sent a malformed barrier");
+        all_done &= f.payload[0] != 0;
+        got[si] = 1;
+        --pending;
+      }
     }
 
     const FrameType verdict = (all_done || res->rounds >= max_rounds)
@@ -299,7 +508,9 @@ void ShardWorkerPool::drive_frames_locked(int max_rounds, StageResult* res) {
       try {
         chans_[static_cast<std::size_t>(s)].send(verdict, nullptr, 0);
       } catch (const TransportError&) {
-        die_worker(s, res->rounds, "died");
+        throw WorkerFailure{s, res->rounds, FaultCategory::kWorkerDeath,
+                            "shard " + std::to_string(s) +
+                                " worker died mid-stage"};
       }
       ++res->stats.ctl_frames;
     }
@@ -326,6 +537,24 @@ void ShardWorkerPool::await_ends_locked(std::uint64_t stage_id,
   Frame f;
   std::vector<struct pollfd> fds;
   std::vector<int> owner;
+  // Stall watchdog bookkeeping. In shm mode the coordinator shadows each
+  // pending shard's barrier epoch cell: the cell advances every round, so
+  // "unchanged past the deadline" means hung — but only for shards at the
+  // *minimum* masked epoch, because peers waiting on a straggler stop
+  // advancing their own cells too and must not be flagged. In frames mode
+  // the cells carry no rounds; the silence-after-progress heuristic from
+  // drive_frames_locked covers the STAGE_END wait instead.
+  const int poll_ms =
+      stall_ms_ > 0 ? std::clamp(stall_ms_ / 4, 10, 250) : -1;
+  struct CellWatch {
+    std::uint64_t raw = 0;
+    Clock::time_point since;
+  };
+  std::vector<CellWatch> watch(static_cast<std::size_t>(shards));
+  const auto start = Clock::now();
+  for (int s = 0; s < shards; ++s)
+    watch[static_cast<std::size_t>(s)] = {plane_.barrier_raw(s), start};
+  auto last_end = start;
   while (pending > 0) {
     fds.clear();
     owner.clear();
@@ -334,12 +563,13 @@ void ShardWorkerPool::await_ends_locked(std::uint64_t stage_id,
       fds.push_back({chans_[static_cast<std::size_t>(s)].fd(), POLLIN, 0});
       owner.push_back(s);
     }
-    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw TransportError("poll on worker control sockets failed");
     }
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    for (std::size_t i = 0; rc > 0 && i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
       const int s = owner[i];
       const std::size_t si = static_cast<std::size_t>(s);
@@ -351,9 +581,13 @@ void ShardWorkerPool::await_ends_locked(std::uint64_t stage_id,
       }
       // In shm mode the coordinator never saw the round loop, but a dead
       // worker's barrier cell still pins the failure to a round.
-      if (!ok)
-        die_worker(s, frames ? res->rounds : barrier_round_of(s, stage_id),
-                   "died");
+      if (!ok) {
+        const int round =
+            frames ? res->rounds : barrier_round_of(s, stage_id);
+        throw WorkerFailure{s, round, FaultCategory::kWorkerDeath,
+                            "shard " + std::to_string(s) +
+                                " worker died mid-stage"};
+      }
       ++res->stats.ctl_frames;
       if (f.type == FrameType::kError) {
         ErrorContext ctx;
@@ -389,6 +623,46 @@ void ShardWorkerPool::await_ends_locked(std::uint64_t stage_id,
         die_worker(s, -1, "acked a stage without publishing final state");
       got_end[si] = 1;
       --pending;
+      last_end = Clock::now();
+    }
+    if (stall_ms_ > 0 && pending > 0) {
+      const auto now = Clock::now();
+      if (!frames) {
+        std::uint64_t min_at = ~0ull;
+        for (int s = 0; s < shards; ++s) {
+          const std::size_t si = static_cast<std::size_t>(s);
+          if (got_end[si]) continue;
+          const std::uint64_t cur = plane_.barrier_raw(s);
+          if (cur != watch[si].raw) watch[si] = {cur, now};
+          min_at = std::min(min_at, cur & ~kBarrierDoneBit);
+        }
+        for (int s = 0; s < shards; ++s) {
+          const std::size_t si = static_cast<std::size_t>(s);
+          if (got_end[si]) continue;
+          if ((watch[si].raw & ~kBarrierDoneBit) != min_at) continue;
+          if (std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - watch[si].since)
+                  .count() <= stall_ms_)
+            continue;
+          const int round = barrier_round_of(s, stage_id);
+          throw WorkerFailure{
+              s, round, FaultCategory::kWorkerStall,
+              "shard " + std::to_string(s) +
+                  " worker stopped advancing its barrier epoch (round " +
+                  std::to_string(round) + ") for over " +
+                  std::to_string(stall_ms_) + "ms"};
+        }
+      } else if (pending < shards &&
+                 std::chrono::duration_cast<std::chrono::milliseconds>(
+                     now - last_end)
+                         .count() > stall_ms_) {
+        const int s = owner.front();
+        throw WorkerFailure{s, res->rounds, FaultCategory::kWorkerStall,
+                            "shard " + std::to_string(s) +
+                                " worker sent no stage end within " +
+                                std::to_string(stall_ms_) +
+                                "ms (peers delivered)"};
+      }
     }
   }
   res->stats.rounds = res->rounds;
@@ -407,6 +681,17 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
     // EOF (coordinator gone or tearing down) and kShutdown are both
     // orderly exits; anything else out of stage context is a protocol bug.
     if (!got || f.type == FrameType::kShutdown) std::_Exit(0);
+    if (f.type == FrameType::kStageAbort) {
+      // The stage this abort targets already ended here (the STAGE_END and
+      // the abort crossed on the wire); ack so the coordinator's quiesce
+      // completes and park for the replayed STAGE_BEGIN.
+      try {
+        ch.send(FrameType::kAbortAck, nullptr, 0);
+      } catch (...) {
+        std::_Exit(1);
+      }
+      continue;
+    }
     if (f.type != FrameType::kStageBegin) std::_Exit(1);
     try {
       const std::uint8_t* p = f.payload.data();
@@ -424,6 +709,7 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
       std::uint32_t step_size = 0;
       std::uint32_t done_size = 0;
       std::uint8_t frames_byte = 0;
+      std::uint8_t parity_byte = 0;
       take(&entry_raw, 8);
       take(&stage_id, 8);
       take(&max_rounds, 4);
@@ -431,6 +717,7 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
       take(&step_size, 4);
       take(&done_size, 4);
       take(&frames_byte, 1);
+      take(&parity_byte, 1);
       FaultWire fw;
       const std::size_t used = decode_fault_wire(p, left, &fw);
       p += used;
@@ -451,10 +738,13 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
       ctx.done_bytes = p + step_size;
       ctx.done_size = done_size;
       ctx.frames = frames_byte != 0;
+      ctx.snap_parity = parity_byte & 1;
 
       // Re-create the coordinator's fault context for this stage: arm()
       // resets the fire-once markers, so per-stage re-firing matches what
-      // fork-per-stage inheritance used to produce.
+      // fork-per-stage inheritance used to produce. (A replayed stage
+      // arrives with a bumped attempt index instead — see
+      // encode_stage_begin.)
       if (fw.armed)
         FaultInjector::global().arm(fw.specs, fw.seed);
       else
@@ -463,6 +753,15 @@ void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane, int shard,
           reinterpret_cast<void*>(entry_raw));
       FaultInjector::CellScope scope(fw.cell, fw.attempt);
       entry(ctx);
+    } catch (const StageAbortSignal&) {
+      // Orderly mid-stage abort (a peer died or stalled): ack and park for
+      // the replay. Deliberately ahead of the generic handlers — an abort
+      // is not a failure and must not produce a kError frame.
+      try {
+        ch.send(FrameType::kAbortAck, nullptr, 0);
+      } catch (...) {
+        std::_Exit(1);
+      }
     } catch (const std::exception& e) {
       try {
         ch.send(FrameType::kError, e.what(), std::strlen(e.what()));

@@ -14,8 +14,8 @@
 // be inherited; they are shipped by value. STAGE_BEGIN carries
 //
 //   [u64 entry][u64 stage_id][i32 max_rounds][u32 state_size]
-//   [u32 step_size][u32 done_size][u8 frames][fault wire]
-//   [step bytes][done bytes]
+//   [u32 step_size][u32 done_size][u8 frames][u8 snap_parity]
+//   [fault wire][step bytes][done bytes]
 //
 // where `entry` is the address of the templated trampoline
 // shard_stage_entry<State, Step, Done> (sync_runner.hpp) — valid in every
@@ -78,15 +78,58 @@
 // only after barrier r completes. The early (pre-interior) publish
 // tightens nothing here: it still sits after barrier r.
 //
-// Failure: a dead worker (crash, SIGKILL, injected process-kill) surfaces
-// as EOF/EPIPE on its control socket; the coordinator throws
-// CellError(kWorkerDeath) with the round coordinate (in shm mode read
-// from the dead worker's barrier cell) and tears the pool down (SIGKILL +
-// reap — a failed stage never leaks processes or hangs; the SIGKILL also
-// unblocks peers parked in a futex wait). The next dispatch simply forks
-// a fresh pool, so one dead worker quarantines one cell, not the plan. A
-// worker whose *coordinator* dies notices via a zero-timeout poll of its
-// control socket on every futex timeout and exits.
+// Failure and recovery (the self-healing layer). Two recoverable failure
+// classes, both detected by the coordinator while it waits for STAGE_ENDs:
+//
+//   worker-death — EOF/EPIPE on the control socket (crash, OOM-kill,
+//                  injected process-kill);
+//   worker-stall — the process is alive but its barrier epoch cell (shm
+//                  mode) or control-frame flow (frames mode) stopped
+//                  advancing past the watchdog deadline (`stall_ms`,
+//                  0 = watchdog off). The coordinator SIGKILLs the hung
+//                  worker; only shards at the *minimum* pending epoch are
+//                  stall candidates, because peers waiting on a straggler
+//                  stop advancing their own cells too and must not be
+//                  flagged.
+//
+// Recovery replays the stage from its entry snapshot: every STAGE_BEGIN
+// stamps the caller's state into one of the plane's two snapshot regions
+// (parity alternates per logical stage), and workers load their initial
+// state from the snapshot — never from the mutable `states` image — so a
+// replay needs zero restore copies. The protocol is
+//
+//   1. SIGKILL + reap the failed worker; close its channel.
+//   2. Quiesce survivors: send kStageAbort to each; a worker mid-stage
+//      observes it at its next barrier timeout (shm; <=50ms futex bound)
+//      or blocking recv (frames), throws StageAbortSignal out of the
+//      trampoline, acks with kAbortAck, and parks in the control loop. A
+//      worker that already finished acks from the loop directly. Stale
+//      frames queued before the ack (barriers, STAGE_ENDs) are drained
+//      and dropped; a survivor that misses the quiesce deadline or EOFs
+//      is SIGKILLed and respawned too.
+//   3. Re-fork the dead workers (valid because the coordinator's image
+//      still holds the graph, manifest, plane and ship arena at the same
+//      addresses the trampoline expects) and re-dispatch the stage with a
+//      *fresh* stage_id and the same closure bytes, snapshot parity, and
+//      fault wire — with the wire's attempt index bumped per replay, so
+//      default attempts=1 faults fire once and the replay runs clean
+//      while attempts=0 faults re-fire and deterministically exhaust the
+//      budget. The fresh stage_id is what makes replay safe with zero
+//      cell resets: barrier cells and slab epochs are monotonic across a
+//      pool's lifetime, so everything the aborted attempt left behind
+//      reads as "not yet arrived" to the replay.
+//
+// Replays are bounded by the pool's respawn budget (default 2 per
+// dispatched stage, env DELTACOLOR_SHARD_RESPAWNS); deterministic
+// closures make a recovered stage bit-identical to a fault-free run.
+// Budget exhausted (or a non-recoverable failure: a worker-reported
+// exception or protocol violation, which would deterministically re-fire)
+// -> teardown + CellError(kWorkerDeath / kWorkerStall); the engine's
+// run_sharded then degrades the stage to in-process execution when the
+// backend allows it (DELTACOLOR_SHARD_DEGRADE, default on), so the cell
+// completes instead of quarantining. The next dispatch reforks the pool.
+// A worker whose *coordinator* dies notices via a zero-timeout poll of
+// its control socket on every futex timeout and exits.
 #pragma once
 
 #include <sys/types.h>
@@ -99,6 +142,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/errors.hpp"
 #include "local/backend.hpp"
 #include "local/halo_plane.hpp"
 #include "local/transport.hpp"
@@ -121,6 +165,9 @@ struct WorkerStageCtx {
   std::size_t done_size = 0;
   /// True = legacy coordinator frame barrier; false = shm epoch barrier.
   bool frames = false;
+  /// Which of the plane's two stage-entry snapshot regions holds this
+  /// stage's initial state (stable across replays of the same stage).
+  int snap_parity = 0;
 
   /// Slab epoch of round `round` within this stage: stage ids start at 1,
   /// so no epoch ever collides with the plane's zero-initialized stamps or
@@ -154,6 +201,19 @@ bool decode_stage_end(const std::uint8_t* p, std::size_t size,
 /// dead coordinator (the only way frames reach a worker mid-stage in shm
 /// mode is pool teardown).
 bool control_channel_dead(const FrameChannel& ch);
+
+/// Thrown by a worker's stage trampoline when the coordinator aborts the
+/// in-flight stage (kStageAbort: a peer died or stalled and the stage will
+/// be replayed). Deliberately not a std::exception: the worker loop's
+/// error handlers must never mistake an orderly abort for a stage failure.
+struct StageAbortSignal {};
+
+/// Mid-stage control check, run by a worker on every barrier futex
+/// timeout: nothing readable -> return (keep waiting); kStageAbort ->
+/// throw StageAbortSignal (the worker loop acks and parks for the
+/// replay); kShutdown -> exit 0; EOF or anything else -> exit 1 (the
+/// coordinator is gone or the protocol is broken).
+void worker_poll_control(FrameChannel& ch);
 
 /// Pause-friendly spin hint for the barrier's pre-futex phase.
 inline void cpu_relax() {
@@ -231,7 +291,7 @@ bool epoch_barrier_wait(const WorkerStageCtx& ctx, int round, EagerFn&& eager) {
       continue;
     }
     plane.barrier_block(seq);
-    if (control_channel_dead(*ctx.ch)) std::_Exit(1);
+    worker_poll_control(*ctx.ch);
   }
 }
 
@@ -254,9 +314,13 @@ class ShardWorkerPool {
   /// dispatch and tear down after each stage — the fork-per-stage baseline
   /// kept for the bench_shard A/B comparison. `barrier` (kAuto resolves
   /// DELTACOLOR_BARRIER) picks the round-barrier protocol; workers learn
-  /// it per stage from the STAGE_BEGIN mode byte.
+  /// it per stage from the STAGE_BEGIN mode byte. `stall_ms` is the
+  /// watchdog deadline (0 = off, -1 = resolve DELTACOLOR_SHARD_STALL_MS,
+  /// default off); `respawn_budget` bounds replays per dispatched stage
+  /// (-1 = resolve DELTACOLOR_SHARD_RESPAWNS, default 2).
   ShardWorkerPool(const ShardPlan& plan, bool persistent,
-                  BarrierMode barrier = BarrierMode::kAuto);
+                  BarrierMode barrier = BarrierMode::kAuto,
+                  int stall_ms = -1, int respawn_budget = -1);
   ~ShardWorkerPool();
   ShardWorkerPool(const ShardWorkerPool&) = delete;
   ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
@@ -275,12 +339,20 @@ class ShardWorkerPool {
 
   /// Dispatches one stage to the pool (forking it first if it is not
   /// live), drives the barrier protocol, and copies the final state image
-  /// back into `states`. Throws CellError (kWorkerDeath for a dead worker,
+  /// back into `states`. A worker that dies or stalls mid-stage is
+  /// respawned and the stage replayed from its entry snapshot, up to the
+  /// respawn budget (see the header comment's recovery protocol). Throws
+  /// CellError (kWorkerDeath / kWorkerStall once the budget is exhausted,
   /// kEngineException for a worker-reported exception or protocol
-  /// violation); on any failure the pool is torn down and the next
-  /// dispatch reforks. Caller must hold the stage slot.
+  /// violation); on a thrown failure the pool is torn down and the next
+  /// dispatch reforks. Caller must hold the stage slot. `states` is only
+  /// written on success, so a caller catching the CellError still holds
+  /// its intact pre-stage state (what makes in-process degradation safe).
   StageResult run_stage(const StageWire& wire, int max_rounds, void* states,
                         std::size_t state_bytes);
+
+  int stall_ms() const { return stall_ms_; }
+  int respawn_budget() const { return respawn_budget_; }
 
   /// The stage slot serializes whole stages (and their shipped aux data)
   /// across concurrent sweep cells sharing one plan. Recursive: a runner
@@ -300,18 +372,47 @@ class ShardWorkerPool {
     std::uint64_t reused = 0;      ///< dispatches served by a live pool
     std::uint64_t shm_bytes = 0;   ///< mapped halo-plane bytes
     std::uint64_t ctl_frames = 0;  ///< control frames sent + received
+    std::uint64_t respawns = 0;    ///< workers re-forked after death/stall
+    std::uint64_t stalls = 0;      ///< watchdog-detected hung workers
+    std::uint64_t replayed_rounds = 0;  ///< rounds discarded by replays
   };
   Stats stats() const;
 
  private:
+  /// A recoverable mid-stage worker failure (death or stall), thrown
+  /// inside run_stage's recovery loop; never escapes the pool.
+  struct WorkerFailure {
+    int shard = -1;
+    int round = -1;
+    FaultCategory category = FaultCategory::kWorkerDeath;
+    std::string detail;
+  };
+
   void spawn_locked();
+  /// Forks (or re-forks) shard `s`'s worker on a fresh channel pair.
+  void spawn_worker_locked(int s);
   void teardown_locked();
+  /// SIGKILL + reap shard `s`'s worker (no-ops if already gone) and close
+  /// its control channel.
+  void kill_worker_locked(int s);
   [[noreturn]] void die_worker(int shard, int round, const char* what);
+  /// One dispatch attempt: send STAGE_BEGINs, drive the barrier protocol,
+  /// gather STAGE_ENDs. Throws WorkerFailure on a recoverable failure.
+  void dispatch_attempt_locked(const std::vector<std::uint8_t>& begin,
+                               std::uint64_t stage_id,
+                               std::size_t record_size, int max_rounds,
+                               StageResult* res);
+  /// Recovery step between attempts: kill the failed worker, quiesce the
+  /// survivors (kStageAbort / kAbortAck, draining stale frames; a
+  /// survivor that EOFs or misses the deadline is killed too), and
+  /// respawn every dead worker.
+  void recover_locked(int failed_shard);
   /// Frame-barrier round loop (kFrames): gather BARRIERs, send STEP/HALT.
   void drive_frames_locked(int max_rounds, StageResult* res);
   /// Both modes: poll(2) every control socket until each worker delivers
   /// its STAGE_END, then fold the workers' round counts, record totals and
-  /// timing samples into `res` and verify the final-state stamps.
+  /// timing samples into `res` and verify the final-state stamps. Runs
+  /// the shm-mode stall watchdog while waiting.
   void await_ends_locked(std::uint64_t stage_id, std::size_t record_size,
                          int max_rounds, StageResult* res);
   /// Best-effort round coordinate of a (possibly dead) worker from its
@@ -321,6 +422,8 @@ class ShardWorkerPool {
   const ShardPlan& plan_;
   const bool persistent_;
   const BarrierMode barrier_;
+  const int stall_ms_;
+  const int respawn_budget_;
   HaloPlane plane_;
   mutable std::recursive_mutex mu_;
   int slot_depth_ = 0;
@@ -328,13 +431,15 @@ class ShardWorkerPool {
   std::vector<pid_t> pids_;
   bool live_ = false;
   std::uint64_t next_stage_id_ = 1;
+  int snap_parity_ = 1;
   Stats stats_;
 };
 
 /// Worker-process control loop: parks on the channel, runs one stage per
-/// STAGE_BEGIN via its trampoline, exits 0 on kShutdown/EOF and 1 (after a
-/// best-effort kError frame) on any exception. Runs in the forked child;
-/// never returns.
+/// STAGE_BEGIN via its trampoline, acks kStageAbort (whether it lands
+/// mid-stage as a StageAbortSignal or while parked) and keeps parking,
+/// exits 0 on kShutdown/EOF and 1 (after a best-effort kError frame) on
+/// any exception. Runs in the forked child; never returns.
 [[noreturn]] void shard_worker_loop(const ShardPlan& plan, HaloPlane& plane,
                                     int shard, FrameChannel& ch);
 

@@ -437,8 +437,31 @@ class SyncRunner {
     wire.done_bytes.resize(sizeof(DoneD));
     std::memcpy(wire.done_bytes.data(), std::addressof(done_node),
                 sizeof(DoneD));
-    const ShardWorkerPool::StageResult res = plan.pool->run_stage(
-        wire, max_rounds, cur_.data(), cur_.size() * sizeof(State));
+    ShardWorkerPool::StageResult res;
+    try {
+      res = plan.pool->run_stage(wire, max_rounds, cur_.data(),
+                                 cur_.size() * sizeof(State));
+    } catch (const CellError& e) {
+      // Graceful degradation: once the pool's respawn budget is exhausted
+      // (kWorkerDeath / kWorkerStall — anything else, e.g. a worker's own
+      // exception, would deterministically recur in-process too), finish
+      // the stage here instead of quarantining the cell. Safe because
+      // run_stage never wrote `cur_` on failure, and shipped spans/flags
+      // point into the still-mapped plane.
+      if ((e.category() != FaultCategory::kWorkerDeath &&
+           e.category() != FaultCategory::kWorkerStall) ||
+          !options_.backend->degrade_on_worker_failure())
+        throw;
+      options_.backend->note_degraded();
+      auto done = [&](const std::vector<State>& states) {
+        for (std::size_t v = 0; v < states.size(); ++v)
+          if (!done_node(static_cast<NodeId>(v), states[v])) return false;
+        return true;
+      };
+      const int rounds = run_full(max_rounds, step, done);
+      sync_flags();
+      return rounds;
+    }
     options_.backend->note_stage(plan, res.stats);
     sync_flags();
     return res.rounds;
@@ -732,7 +755,12 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
 
   std::vector<State> cur(n);
   std::vector<State> nxt(n);
-  std::memcpy(cur.data(), plane.state_bytes(), n * sizeof(State));
+  // Initial state comes from the stage-entry *snapshot*, never from the
+  // mutable state image (which finish() below overwrites): a replay after
+  // a peer's death or stall re-reads the identical entry bytes, which is
+  // what makes recovered stages bit-identical with zero restore copies.
+  std::memcpy(cur.data(), plane.snapshot_bytes(ctx.snap_parity),
+              n * sizeof(State));
 
   using ViewT = typename SyncRunner<State, Graph>::View;
   const auto own_done = [&]() -> std::uint8_t {
@@ -844,7 +872,15 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
         }
         nxt[b] = s;
       }
-      plane.publish(shard, (r + 1) & 1, ctx.epoch(r + 1), count);
+      // Torn-slab injection: a matching epoch with an impossible count is
+      // exactly what a misordered publish would leave behind; readers
+      // surface it as a structured TransportError, never a short read.
+      if (FaultInjector::armed() &&
+          FaultInjector::global().on_slab_publish(shard, r))
+        plane.publish(shard, (r + 1) & 1, ctx.epoch(r + 1),
+                      ~std::uint32_t{0});
+      else
+        plane.publish(shard, (r + 1) & 1, ctx.epoch(r + 1), count);
       ws.publish_ns.push_back(ns_since(publish_at));
       ws.published += count;
       for (const NodeRun& run : interior)
@@ -882,7 +918,11 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
       rec += kRecord;
       ++count;
     }
-    plane.publish(shard, round & 1, ctx.epoch(round), count);
+    if (FaultInjector::armed() &&
+        FaultInjector::global().on_slab_publish(shard, round))
+      plane.publish(shard, round & 1, ctx.epoch(round), ~std::uint32_t{0});
+    else
+      plane.publish(shard, round & 1, ctx.epoch(round), count);
     ws.publish_ns.push_back(ns_since(publish_at));
     ws.published += count;
     return count;
@@ -900,6 +940,9 @@ void shard_stage_entry(const WorkerStageCtx& ctx) {
       finish(r);
       return;
     }
+    // A peer died or stalled: abandon the attempt (the worker loop acks
+    // and parks; the coordinator replays with a fresh stage id).
+    if (f.type == FrameType::kStageAbort) throw StageAbortSignal{};
     if (f.type != FrameType::kStep)
       throw TransportError("unexpected frame inside a stage round loop");
     std::uint32_t applied = 0;

@@ -44,6 +44,10 @@ enum class FrameType : std::uint8_t {
   kError = 5,       ///< worker -> coord: exception text; worker exits nonzero
   kStageBegin = 6,  ///< coord -> worker: dispatch one stage to the live pool
   kShutdown = 7,    ///< coord -> worker: orderly pool teardown; worker exits
+  kStageAbort = 8,  ///< coord -> worker: abandon the in-flight stage (a peer
+                    ///< died or stalled); ack and park for the replay
+  kAbortAck = 9,    ///< worker -> coord: stage abandoned, parked at the
+                    ///< control loop awaiting the replayed STAGE_BEGIN
 };
 
 struct Frame {

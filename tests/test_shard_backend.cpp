@@ -7,7 +7,13 @@
 //      fall back in-process and are counted, never wrong;
 //  (d) a worker killed mid-stage surfaces as a structured worker-death
 //      CellError, which the sweep driver's quarantine turns into a
-//      partial-result table instead of a torn-down batch.
+//      partial-result table instead of a torn-down batch;
+//  (e) the PR 10 self-healing path: a killed or hung worker is respawned
+//      and the stage replayed bit-identically, a slow worker is never a
+//      stall false positive, an exhausted respawn budget degrades the
+//      stage in-process, a torn slab publish surfaces as a structured
+//      engine error, and the DELTACOLOR_FAULTS grammar rejects malformed
+//      specs with did-you-mean suggestions.
 #include <gtest/gtest.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -604,10 +610,16 @@ TEST(ShardBackend, PersistentPoolForksOncePerShardAcrossStages) {
 }
 
 // --- worker death ------------------------------------------------------------
+// These four pin the *propagation* path — what a worker death looks like
+// when the pool is not allowed to heal it — so they disable the respawn
+// budget and in-process degradation that PR 10 turned on by default. The
+// recovery tests below cover the healing path.
 
 TEST(ShardBackend, KilledWorkerSurfacesAsWorkerDeathCellError) {
   const Graph g = bench::hard_instance(8, 8, 5).graph;
   ProcShardedBackend backend(2);
+  backend.set_respawn_budget(0);
+  backend.set_degrade(false);
   backend.prepare(g);
   ArmedScope armed({spec_of("process-kill@round=1,shard=1")});
   AlgorithmRequest req;
@@ -627,6 +639,8 @@ TEST(ShardBackend, BackendSurvivesAWorkerDeath) {
   // next stage cleanly — dead channels and pids are per ShardStage.
   const Graph g = bench::hard_instance(8, 8, 5).graph;
   ProcShardedBackend backend(2);
+  backend.set_respawn_budget(0);
+  backend.set_degrade(false);
   backend.prepare(g);
   AlgorithmRequest req;
   req.seed = 7;
@@ -643,6 +657,8 @@ TEST(ShardBackend, BackendSurvivesAWorkerDeath) {
 TEST(ShardBackend, SweepQuarantinesTheDeadWorkerCellOnly) {
   const Graph g = bench::hard_instance(8, 8, 5).graph;
   ProcShardedBackend backend(2);
+  backend.set_respawn_budget(0);
+  backend.set_degrade(false);
   backend.prepare(g);
   // Kill shard 1's worker in cell 2's first attempt only.
   ArmedScope armed({spec_of("process-kill@cell=2,round=1,shard=1")});
@@ -677,6 +693,8 @@ TEST(ShardBackend, SweepQuarantinesTheDeadWorkerCellOnly) {
 TEST(ShardBackend, RetryRecoversFromATransientWorkerDeath) {
   const Graph g = bench::hard_instance(8, 8, 5).graph;
   ProcShardedBackend backend(2);
+  backend.set_respawn_budget(0);
+  backend.set_degrade(false);
   backend.prepare(g);
   // attempts=1 fires on attempt 0 only; the retry must succeed.
   ArmedScope armed({spec_of("process-kill@cell=0,round=1,shard=0,attempts=1")});
@@ -697,6 +715,206 @@ TEST(ShardBackend, RetryRecoversFromATransientWorkerDeath) {
   EXPECT_EQ(result.outcomes[0].status, bench::CellStatus::kRetried);
   EXPECT_EQ(result.outcomes[0].attempts, 2);
   EXPECT_GT(result.rows[0], 0);
+}
+
+// --- self-healing recovery ---------------------------------------------------
+
+TEST(ShardRecovery, RespawnReplayIsBitIdenticalForEveryRegistryAlgorithm) {
+  // Kill shard 1's worker at round 0 of every dispatched stage: the pool
+  // must respawn it, replay each interrupted stage from the snapshot, and
+  // land every registry algorithm on the oracle result at 2 and 4 shards.
+  // (attempts=1 means the replay attempt runs clean — the fault wire's
+  // attempt index is bumped per replay.)
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  std::uint64_t total_respawns = 0;
+  for (const AlgorithmEntry& entry : algorithm_registry()) {
+    AlgorithmRequest req;
+    req.seed = 7;
+    req.engine = {1, false};
+    const AlgorithmResult baseline = bench::run_registered(entry.name, g, req);
+    ASSERT_TRUE(baseline.ok) << entry.name;
+    for (const int shards : {2, 4}) {
+      ProcShardedBackend backend(shards);
+      backend.set_respawn_budget(2);
+      backend.set_degrade(false);
+      backend.prepare(g);
+      ArmedScope armed({spec_of("process-kill@round=0,shard=1")});
+      AlgorithmRequest proc_req = req;
+      proc_req.engine.backend = &backend;
+      const AlgorithmResult res = bench::run_registered(entry.name, g, proc_req);
+      const std::string tag =
+          std::string(entry.name) + " shards=" + std::to_string(shards);
+      EXPECT_TRUE(res.ok) << tag;
+      EXPECT_EQ(res.color, baseline.color) << tag;
+      EXPECT_EQ(res.in_set, baseline.in_set) << tag;
+      EXPECT_EQ(res.ledger.total(), baseline.ledger.total()) << tag;
+      EXPECT_EQ(res.palette, baseline.palette) << tag;
+      EXPECT_EQ(result_hash(res), result_hash(baseline)) << tag;
+      const ProcShardedBackend::Totals totals = backend.totals();
+      // Every algorithm that dispatched at least one sharded stage lost a
+      // worker at round 0 and must have healed it.
+      if (totals.stages > 0) EXPECT_GE(totals.respawns, 1u) << tag;
+      EXPECT_EQ(totals.degraded, 0u) << tag;
+      total_respawns += totals.respawns;
+    }
+  }
+  // And the sweep as a whole must have exercised the respawn path.
+  EXPECT_GT(total_respawns, 0u);
+}
+
+TEST(ShardRecovery, WatchdogDetectsAHungWorkerInBothBarrierModes) {
+  // A worker that spins forever (alive, channel open, barrier epoch frozen)
+  // is invisible to EOF detection; only the stall watchdog can catch it.
+  // Both the shm epoch watchdog and the frames silence heuristic must kill
+  // the straggler, respawn it, and replay to the oracle result.
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+  const AlgorithmResult baseline = bench::run_registered("trial", g, req);
+  for (const BarrierMode mode : {BarrierMode::kShm, BarrierMode::kFrames}) {
+    ProcShardedBackend backend(2, /*persistent=*/true, mode);
+    backend.set_stall_ms(300);
+    backend.set_respawn_budget(2);
+    backend.set_degrade(false);
+    backend.prepare(g);
+    ArmedScope armed({spec_of("worker-hang@round=1,shard=1")});
+    AlgorithmRequest proc_req = req;
+    proc_req.engine.backend = &backend;
+    const AlgorithmResult res = bench::run_registered("trial", g, proc_req);
+    const std::string tag = barrier_mode_name(mode);
+    EXPECT_TRUE(res.ok) << tag;
+    EXPECT_EQ(res.color, baseline.color) << tag;
+    EXPECT_EQ(res.ledger.total(), baseline.ledger.total()) << tag;
+    const ProcShardedBackend::Totals totals = backend.totals();
+    EXPECT_GE(totals.stalls, 1u) << tag;
+    EXPECT_GE(totals.respawns, 1u) << tag;
+    EXPECT_EQ(totals.degraded, 0u) << tag;
+  }
+}
+
+TEST(ShardRecovery, SlowWorkerIsNotAStallFalsePositive) {
+  // A worker that is merely slow (sleeps well under the deadline) must
+  // never be flagged: the watchdog requires the epoch to be frozen for the
+  // full stall budget, not just "slower than its peers".
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+  const AlgorithmResult baseline = bench::run_registered("trial", g, req);
+  ProcShardedBackend backend(2);
+  backend.set_stall_ms(10000);
+  backend.prepare(g);
+  ArmedScope armed({spec_of("wall-clock-timeout@round=1,sleep_ms=150")});
+  AlgorithmRequest proc_req = req;
+  proc_req.engine.backend = &backend;
+  const AlgorithmResult res = bench::run_registered("trial", g, proc_req);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.color, baseline.color);
+  EXPECT_EQ(res.ledger.total(), baseline.ledger.total());
+  const ProcShardedBackend::Totals totals = backend.totals();
+  EXPECT_EQ(totals.stalls, 0u);
+  EXPECT_EQ(totals.respawns, 0u);
+  EXPECT_EQ(totals.degraded, 0u);
+}
+
+TEST(ShardRecovery, ExhaustedRespawnBudgetDegradesInProcess) {
+  // attempts=0 re-fires the kill on every replay, so the respawn budget
+  // runs out; with degradation enabled the stage must complete in-process
+  // instead of throwing, still bit-identical to the oracle.
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+  const AlgorithmResult baseline = bench::run_registered("trial", g, req);
+  ProcShardedBackend backend(2);
+  backend.set_respawn_budget(1);
+  backend.set_degrade(true);
+  backend.prepare(g);
+  ArmedScope armed({spec_of("process-kill@round=1,shard=1,attempts=0")});
+  AlgorithmRequest proc_req = req;
+  proc_req.engine.backend = &backend;
+  const AlgorithmResult res = bench::run_registered("trial", g, proc_req);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.color, baseline.color);
+  EXPECT_EQ(res.in_set, baseline.in_set);
+  EXPECT_EQ(res.ledger.total(), baseline.ledger.total());
+  const ProcShardedBackend::Totals totals = backend.totals();
+  EXPECT_GE(totals.degraded, 1u);
+  EXPECT_GE(totals.respawns, 1u);  // the budget was spent before degrading
+}
+
+TEST(ShardRecovery, TornSlabPublishSurfacesAsStructuredEngineError) {
+  // A corrupt halo publish (bogus record count) is detected by the *peer*
+  // reader's seqlock bounds check and must surface as a structured engine
+  // error naming the tear — never a hang, never silent corruption. It is
+  // not a death or stall, so it must not trigger degradation.
+  const Graph g = bench::hard_instance(8, 8, 5).graph;
+  ProcShardedBackend backend(2);
+  backend.set_respawn_budget(0);
+  backend.prepare(g);
+  ArmedScope armed({spec_of("torn-slab@round=1,shard=1")});
+  AlgorithmRequest req;
+  req.seed = 7;
+  req.engine = {1, false};
+  req.engine.backend = &backend;
+  try {
+    bench::run_registered("trial", g, req);
+    FAIL() << "expected an engine-exception CellError";
+  } catch (const CellError& e) {
+    EXPECT_EQ(e.category(), FaultCategory::kEngineException) << e.what();
+    EXPECT_NE(std::string(e.what()).find("capacity"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(backend.totals().degraded, 0u);
+}
+
+// --- fault-spec grammar ------------------------------------------------------
+
+TEST(FaultGrammar, ParsesEveryKeyAndCategory) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec(
+      "worker-hang@cell=3,round=2,shard=1,attempts=4", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.category, FaultCategory::kWorkerHang);
+  EXPECT_EQ(spec.cell, 3);
+  EXPECT_EQ(spec.round, 2);
+  EXPECT_EQ(spec.shard, 1);
+  EXPECT_EQ(spec.attempts, 4);
+  ASSERT_TRUE(parse_fault_spec("torn-slab@round=1,shard=0", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.category, FaultCategory::kTornSlab);
+}
+
+TEST(FaultGrammar, UnknownCategoryGetsADidYouMean) {
+  FaultSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_fault_spec("process-kil@round=1", &spec, &error));
+  EXPECT_NE(error.find("process-kill"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(parse_fault_spec("worker-hung@round=1", &spec, &error));
+  EXPECT_NE(error.find("worker-hang"), std::string::npos) << error;
+}
+
+TEST(FaultGrammar, UnknownKeyGetsADidYouMean) {
+  FaultSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_fault_spec("process-kill@rond=1", &spec, &error));
+  EXPECT_NE(error.find("round"), std::string::npos) << error;
+}
+
+TEST(FaultGrammar, MalformedPairsAndValuesAreRejected) {
+  FaultSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_fault_spec("process-kill@round", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_fault_spec("process-kill@round=abc", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_fault_spec("", &spec, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

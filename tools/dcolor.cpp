@@ -110,7 +110,11 @@ int usage() {
          "(proc backend: worker processes, default 2, 0 = one per hardware "
          "core), --barrier=shm|frames (proc backend round barrier: "
          "shared-memory epoch cells (default) or coordinator frames; env "
-         "DELTACOLOR_BARRIER), "
+         "DELTACOLOR_BARRIER), --shard-stall-ms=N (proc backend: watchdog "
+         "deadline before a silent worker is declared hung and its stage "
+         "replayed; 0 = off, default 10000; env DELTACOLOR_SHARD_STALL_MS; "
+         "respawn budget / in-process degradation via env "
+         "DELTACOLOR_SHARD_RESPAWNS and DELTACOLOR_SHARD_DEGRADE), "
          "--repeat=N (color: N seeds as sweep cells, "
          "aggregate stats), --validate=off|end|phase (oracle mode: check "
          "the final coloring / every pipeline phase boundary), --retries=N "
@@ -142,6 +146,7 @@ int g_retries = 1;                             // from --retries=N
 std::string g_journal_path;                    // from --journal=P
 bool g_resume = false;                         // from --resume
 std::string g_load_path;                       // from --load=PATH
+int g_stall_ms = -1;                           // from --shard-stall-ms=N
 
 enum class IdsMode { kAuto, kFile, kShuffled };
 IdsMode g_ids = IdsMode::kAuto;  // from --ids=M
@@ -295,13 +300,21 @@ struct RepeatRow {
   bool ok = false;
   std::int64_t rounds = 0;
   double wall_ms = 0;
+  // Recovery accounting deltas observed while this cell ran (proc backend
+  // only; all zero in-process). Under concurrent cells the attribution is
+  // best-effort — a respawn lands on whichever cell's window saw it — but
+  // the batch totals match the SHARDS report.
+  std::int64_t respawns = 0;
+  std::int64_t stalls = 0;
+  std::int64_t degraded = 0;
   std::string summary;
 };
 
 std::string encode_repeat_row(const RepeatRow& row) {
   std::ostringstream os;
   os << (row.ok ? 1 : 0) << '\x1f' << row.rounds << '\x1f' << row.wall_ms
-     << '\x1f' << row.summary;
+     << '\x1f' << row.respawns << '\x1f' << row.stalls << '\x1f'
+     << row.degraded << '\x1f' << row.summary;
   return os.str();
 }
 
@@ -320,6 +333,25 @@ bool decode_repeat_row(std::string_view text, RepeatRow* out) {
   row.ok = ok == "1";
   row.rounds = std::strtoll(rounds.c_str(), nullptr, 10);
   row.wall_ms = std::strtod(wall.c_str(), nullptr);
+  // Recovery counters arrived with the self-healing backend; journals
+  // written before it lack the fields, and --resume must still accept
+  // their rows (counters default to zero, summary is the remainder).
+  const std::size_t before_counters = pos;
+  const auto all_digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s)
+      if (c < '0' || c > '9') return false;
+    return true;
+  };
+  std::string respawns, stalls, degraded;
+  if (next(&respawns) && next(&stalls) && next(&degraded) &&
+      all_digits(respawns) && all_digits(stalls) && all_digits(degraded)) {
+    row.respawns = std::strtoll(respawns.c_str(), nullptr, 10);
+    row.stalls = std::strtoll(stalls.c_str(), nullptr, 10);
+    row.degraded = std::strtoll(degraded.c_str(), nullptr, 10);
+  } else {
+    pos = before_counters;
+  }
   row.summary = std::string(text.substr(pos));
   *out = row;
   return true;
@@ -392,6 +424,14 @@ int cmd_color(int argc, char** argv) {
   if (g_proc_backend) {
     proc_backend = std::make_unique<ProcShardedBackend>(
         g_shards, /*persistent=*/true, g_barrier);
+    // The CLI turns the stall watchdog ON by default (10s — generous
+    // enough that a slow-but-live shard on a loaded box is never shot);
+    // the library default is off so embedders and tests opt in. Flag
+    // beats env beats the CLI default.
+    if (g_stall_ms >= 0)
+      proc_backend->set_stall_ms(g_stall_ms);
+    else if (std::getenv("DELTACOLOR_SHARD_STALL_MS") == nullptr)
+      proc_backend->set_stall_ms(10000);
     proc_backend->prepare(g);
     g_engine.backend = proc_backend.get();
   }
@@ -443,6 +483,8 @@ int cmd_color(int argc, char** argv) {
           cell_req.engine = ctx.engine();
           cell_req.validate = g_validate;
           const auto t0 = std::chrono::steady_clock::now();
+          ProcShardedBackend::Totals before;
+          if (proc_backend != nullptr) before = proc_backend->totals();
           const AlgorithmResult res = entry->run(g, cell_req);
           RepeatRow row;
           row.wall_ms = std::chrono::duration<double, std::milli>(
@@ -450,6 +492,15 @@ int cmd_color(int argc, char** argv) {
                             .count();
           row.ok = res.ok;
           row.rounds = res.ledger.total();
+          if (proc_backend != nullptr) {
+            const ProcShardedBackend::Totals after = proc_backend->totals();
+            row.respawns = static_cast<std::int64_t>(after.respawns -
+                                                     before.respawns);
+            row.stalls =
+                static_cast<std::int64_t>(after.stalls - before.stalls);
+            row.degraded = static_cast<std::int64_t>(after.degraded -
+                                                     before.degraded);
+          }
           row.summary = res.summary;
           return row;
         },
@@ -469,8 +520,11 @@ int cmd_color(int argc, char** argv) {
         all_ok = false;
         continue;
       }
-      std::cout << " rounds=" << row.rounds << " wall_ms=" << row.wall_ms
-                << " " << (row.ok ? "ok" : "INVALID")
+      std::cout << " rounds=" << row.rounds << " wall_ms=" << row.wall_ms;
+      if (row.respawns > 0 || row.stalls > 0 || row.degraded > 0)
+        std::cout << " respawns=" << row.respawns << " stalls=" << row.stalls
+                  << " degraded=" << row.degraded;
+      std::cout << " " << (row.ok ? "ok" : "INVALID")
                 << (oc.resumed ? " (resumed)" : "") << " — " << row.summary
                 << "\n";
       rounds.push_back(static_cast<double>(row.rounds));
@@ -578,6 +632,14 @@ int main(int argc, char** argv) {
       } else {
         std::cerr << "dcolor: invalid " << arg
                   << " (barriers: shm, frames)\n";
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--shard-stall-ms=", 0) == 0) {
+      g_stall_ms = std::atoi(arg.c_str() + 17);
+      if (g_stall_ms < 0 ||
+          (g_stall_ms == 0 && std::string(arg.c_str() + 17) != "0")) {
+        std::cerr << "dcolor: invalid " << arg
+                  << " (milliseconds; 0 turns the watchdog off)\n";
         return kExitUsage;
       }
     } else if (arg.rfind("--repeat=", 0) == 0) {
